@@ -1,0 +1,84 @@
+//! **E16** — Balsa \[51\]: learning an optimizer *without expert
+//! demonstrations*. Phase 1 trains on the simulated cost model only (zero
+//! executions); phase 2 fine-tunes on real executions under a safe
+//! timeout that turns would-be stalls into bounded, pessimistically
+//! labeled observations.
+//!
+//! Expected shape: simulation-only Balsa already avoids disasters;
+//! fine-tuning improves it toward the expert; with tight budgets the
+//! timeout path fires but per-query cost stays bounded.
+
+use criterion::{black_box, Criterion};
+use ml4db_bench::{banner, quick_criterion};
+use ml4db_core::optimizer::{evaluate, Balsa, Env};
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate() {
+    banner("E16", "Balsa: sim-to-real without expert demonstrations + safe timeouts");
+    let db = demo_database(150, 160);
+    let env = Env::new(&db);
+    let mut rng = StdRng::seed_from_u64(161);
+    let train = demo_workload(&db, 20, 162);
+    let test = demo_workload(&db, 10, 163);
+
+    let mut balsa = Balsa::new(&mut rng);
+    balsa.simulate(&env, &train, 3, 12, &mut rng);
+    let sim_report = evaluate(&env, &test, |env, q| balsa.plan(env, q, &mut StdRng::seed_from_u64(1)));
+    println!("after simulation only (0 executions):");
+    println!(
+        "  relative total vs expert {:.2}, regressions {}/{}",
+        sim_report.relative_total,
+        sim_report.regressions,
+        test.len()
+    );
+
+    let mut total_timeouts = 0usize;
+    for round in 0..3 {
+        let observed = balsa.finetune(&env, &train, 8, &mut rng);
+        let avg = observed.iter().sum::<f64>() / observed.len().max(1) as f64;
+        println!(
+            "  fine-tune round {round}: mean observed {avg:.0} µs, timeouts so far {}",
+            balsa.timeouts
+        );
+        total_timeouts = balsa.timeouts;
+    }
+    let ft_report = evaluate(&env, &test, |env, q| balsa.plan(env, q, &mut StdRng::seed_from_u64(1)));
+    println!("after fine-tuning:");
+    println!(
+        "  relative total vs expert {:.2}, regressions {}/{}",
+        ft_report.relative_total,
+        ft_report.regressions,
+        test.len()
+    );
+    println!("  safe-execution timeouts during training: {total_timeouts}");
+    println!(
+        "shape check (no expert needed; fine-tuned ≤ sim-only * 1.2): {}",
+        if ft_report.relative_total <= sim_report.relative_total * 1.2 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let db = demo_database(100, 164);
+    let env = Env::new(&db);
+    let mut rng = StdRng::seed_from_u64(165);
+    let train = demo_workload(&db, 6, 166);
+    let mut balsa = Balsa::new(&mut rng);
+    balsa.simulate(&env, &train, 2, 5, &mut rng);
+    let q = &train[0];
+    c.bench_function("e16/balsa_plan", |b| {
+        b.iter(|| balsa.plan(&env, black_box(q), &mut rng).map(|p| p.size()))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,82 @@
+//! **E1** — learned index vs B+Tree on static lookups (the RMI claim \[17\]
+//! that opened the replacement paradigm): learned indexes match or beat the
+//! B+Tree on reads while their structures are orders of magnitude smaller.
+//!
+//! Expected shape: model sizes RMI/PGM/RadixSpline ≪ B+Tree; lookup times
+//! competitive; error bounds small on smooth CDFs and larger on hard ones.
+
+use criterion::{black_box, Criterion};
+use ml4db_bench::{banner, quick_criterion};
+use ml4db_core::index::keys::{generate_entries, KeyDistribution};
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 200_000;
+
+fn build(dist: KeyDistribution) -> (Vec<(u64, u64)>, BPlusTree, Rmi, PgmIndex, RadixSpline) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let entries = generate_entries(dist, N, &mut rng);
+    let btree = BPlusTree::bulk_load(&entries);
+    let rmi = Rmi::build(entries.clone(), 2048);
+    let pgm = PgmIndex::build(entries.clone(), 32);
+    let spline = RadixSpline::build(entries.clone(), 32);
+    (entries, btree, rmi, pgm, spline)
+}
+
+fn regenerate() {
+    banner("E1", "learned index vs B+Tree: structure size and lookup (static)");
+    println!(
+        "{:<36} {:>12} {:>10} {:>10} {:>12}",
+        "distribution", "btree bytes", "rmi bytes", "pgm bytes", "spline bytes"
+    );
+    for dist in [
+        KeyDistribution::Sequential,
+        KeyDistribution::Uniform { max: 1 << 44 },
+        KeyDistribution::LogNormal { sigma: 2.0 },
+        KeyDistribution::Clustered { clusters: 128 },
+    ] {
+        let (_, btree, rmi, pgm, spline) = build(dist);
+        println!(
+            "{:<36} {:>12} {:>10} {:>10} {:>12}",
+            format!("{dist:?}"),
+            btree.size_bytes(),
+            rmi.size_bytes(),
+            pgm.size_bytes(),
+            spline.size_bytes()
+        );
+    }
+    let (_, btree, rmi, pgm, _) = build(KeyDistribution::LogNormal { sigma: 2.0 });
+    println!(
+        "\nlognormal detail: rmi max err {}, pgm {} segments / {} levels",
+        rmi.max_error(),
+        pgm.num_segments(),
+        pgm.num_levels()
+    );
+    println!(
+        "size shape check (learned ≪ btree): {}",
+        if rmi.size_bytes() * 10 < btree.size_bytes() { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let (entries, btree, rmi, pgm, spline) = build(KeyDistribution::LogNormal { sigma: 2.0 });
+    let probes: Vec<u64> = entries.iter().step_by(997).map(|e| e.0).collect();
+    let mut g = c.benchmark_group("e1/lookup_lognormal");
+    g.bench_function("btree", |b| {
+        b.iter(|| probes.iter().map(|&k| btree.get(black_box(k))).count())
+    });
+    g.bench_function("rmi", |b| b.iter(|| probes.iter().map(|&k| rmi.get(black_box(k))).count()));
+    g.bench_function("pgm", |b| b.iter(|| probes.iter().map(|&k| pgm.get(black_box(k))).count()));
+    g.bench_function("radix_spline", |b| {
+        b.iter(|| probes.iter().map(|&k| spline.get(black_box(k))).count())
+    });
+    g.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

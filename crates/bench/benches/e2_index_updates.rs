@@ -1,0 +1,106 @@
+//! **E2** — replacement-index robustness under updates: the static RMI
+//! cannot absorb inserts (the original limitation), while ALEX \[6\] and the
+//! dynamic PGM \[8\] adapt and the B+Tree is unconditionally stable.
+//!
+//! Expected shape: RMI becomes stale (misses every new key); ALEX/PGM stay
+//! exact with bounded structural churn; insert throughput of the adaptive
+//! learned indexes is within a small factor of the B+Tree.
+
+use criterion::{black_box, Criterion};
+use ml4db_bench::{banner, quick_criterion};
+use ml4db_core::index::keys::{generate_entries, KeyDistribution};
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn regenerate() {
+    banner("E2", "updates: RMI degrades, ALEX/dynamic-PGM adapt, B+Tree stable");
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = generate_entries(KeyDistribution::Uniform { max: 1 << 40 }, 50_000, &mut rng);
+    let mut btree = BPlusTree::bulk_load(&base);
+    let mut alex = AlexIndex::bulk_load(&base);
+    let mut dpgm = DynamicPgm::from_sorted(base.clone(), 32);
+    let rmi = Rmi::build(base.clone(), 1024);
+
+    // Skewed insert burst into an unseen key region.
+    let inserts: Vec<u64> =
+        (0..50_000).map(|_| rng.gen_range(0u64..1 << 40) | 1 << 41).collect();
+    for &k in &inserts {
+        btree.insert(k, 7);
+        alex.insert(k, 7);
+        dpgm.insert(k, 7);
+    }
+
+    let recall = |f: &dyn Fn(u64) -> Option<u64>| {
+        let hits = inserts.iter().step_by(97).filter(|&&k| f(k) == Some(7)).count();
+        hits as f64 / inserts.iter().step_by(97).count() as f64
+    };
+    println!("{:<14} {:>16} {:>22}", "index", "new-key recall", "structural churn");
+    println!("{:<14} {:>16.2} {:>22}", "b+tree", recall(&|k| btree.get(k)), "-");
+    println!(
+        "{:<14} {:>16.2} {:>22}",
+        "alex",
+        recall(&|k| alex.get(k)),
+        format!("{} splits, {} expands", alex.splits, alex.expansions)
+    );
+    println!(
+        "{:<14} {:>16.2} {:>22}",
+        "dynamic pgm",
+        recall(&|k| dpgm.get(k)),
+        format!("{} runs", dpgm.num_runs())
+    );
+    println!("{:<14} {:>16.2} {:>22}", "static rmi", recall(&|k| rmi.get(k)), "stale (no insert)");
+    println!(
+        "\nshape check (adaptive learned stay exact, static RMI stale): {}",
+        if recall(&|k| alex.get(k)) == 1.0
+            && recall(&|k| dpgm.get(k)) == 1.0
+            && recall(&|k| rmi.get(k)) == 0.0
+        {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = generate_entries(KeyDistribution::Uniform { max: 1 << 40 }, 20_000, &mut rng);
+    let keys: Vec<u64> = (0..2_000).map(|_| rng.gen_range(0u64..1 << 41)).collect();
+    let mut g = c.benchmark_group("e2/insert_2k");
+    g.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::bulk_load(&base);
+            for &k in &keys {
+                t.insert(black_box(k), 1);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("alex", |b| {
+        b.iter(|| {
+            let mut t = AlexIndex::bulk_load(&base);
+            for &k in &keys {
+                t.insert(black_box(k), 1);
+            }
+            t.len()
+        })
+    });
+    g.bench_function("dynamic_pgm", |b| {
+        b.iter(|| {
+            let mut t = DynamicPgm::from_sorted(base.clone(), 32);
+            for &k in &keys {
+                t.insert(black_box(k), 1);
+            }
+            t.len()
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    regenerate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

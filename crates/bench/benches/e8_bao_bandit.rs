@@ -1,0 +1,90 @@
+//! **E8** — Bao \[27\]: hint-set steering as a contextual bandit. The claims
+//! the tutorial highlights: low training overhead (it reuses the expert),
+//! improved tail performance, and adaptation to workload shift via the
+//! sliding experience window.
+//!
+//! Expected shape: Bao's relative-to-expert total ≤ ~1 after training;
+//! regressions stay rare; after a sudden workload shift Bao's rolling mean
+//! recovers within a window of queries.
+
+use criterion::{black_box, Criterion};
+use ml4db_bench::{banner, quick_criterion};
+use ml4db_core::datagen::{DriftSchedule, SchemaGraph};
+use ml4db_core::optimizer::{evaluate, Env};
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn regenerate() {
+    banner("E8", "Bao: tail performance and adaptation under workload shift");
+    let db = demo_database(150, 80);
+    let env = Env::new(&db);
+    let mut rng = StdRng::seed_from_u64(81);
+
+    // Train, then evaluate greedily against the expert.
+    let train = demo_workload(&db, 35, 82);
+    let mut bao = Bao::new(bao_arms());
+    for q in &train {
+        bao.step(&env, q, &mut rng);
+    }
+    let test = demo_workload(&db, 15, 83);
+    let report = evaluate(&env, &test, |env, q| Some(bao.choose_greedy(env, q).plan));
+    println!("steady state (15 test queries):");
+    println!("  relative total vs expert: {:.2}", report.relative_total);
+    println!(
+        "  tails: p50 {:.0}  p90 {:.0}  p99 {:.0} µs, regressions {}/{}",
+        report.tail.p50,
+        report.tail.p90,
+        report.tail.p99,
+        report.regressions,
+        test.len()
+    );
+
+    // Workload shift: relative-to-expert cost per phase.
+    let stream = DriftSchedule::sudden(30, 30).generate(&db, &SchemaGraph::joblite(), &mut rng);
+    let mut bao2 = Bao::new(bao_arms());
+    let mut rel = Vec::new();
+    for q in &stream {
+        let (_, lat) = bao2.step(&env, q, &mut rng);
+        let expert = env.run(q, &env.expert_plan(q).expect("plans"));
+        rel.push(lat / expert.max(1e-9));
+    }
+    let mean = |r: std::ops::Range<usize>| rel[r].iter().sum::<f64>() / 10.0;
+    println!("\nworkload shift at query 30 (relative latency vs expert, mean of 10):");
+    println!("  queries 20..30 (pre-shift):    {:.2}", mean(20..30));
+    println!("  queries 30..40 (post-shift):   {:.2}", mean(30..40));
+    println!("  queries 50..60 (re-adapted):   {:.2}", mean(50..60));
+    println!(
+        "\nshape check (tracks expert; re-adapted ≤ ~post-shift): {}",
+        if report.relative_total < 1.3 && mean(50..60) <= mean(30..40) * 1.2 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let db = demo_database(120, 84);
+    let env = Env::new(&db);
+    let mut rng = StdRng::seed_from_u64(85);
+    let queries = demo_workload(&db, 10, 86);
+    let mut bao = Bao::new(bao_arms());
+    for q in &queries {
+        bao.step(&env, q, &mut rng);
+    }
+    let q = &queries[0];
+    c.bench_function("e8/bao_choose_thompson", |b| {
+        b.iter(|| bao.choose(&env, black_box(q), &mut rng).arm)
+    });
+    c.bench_function("e8/bao_choose_greedy", |b| {
+        b.iter(|| bao.choose_greedy(&env, black_box(q)).arm)
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! **Figure 1**: publication trend in machine learning for index & query
+//! optimizer, SIGMOD/VLDB 2018–2023, replacement vs ML-enhanced.
+//!
+//! Expected shape (per the tutorial): replacement counts concentrate
+//! early; ML-enhanced counts rise sharply from 2021 — "a noticeable shift
+//! from the replacement paradigm to the ML-enhanced paradigm".
+
+use criterion::{black_box, Criterion};
+use ml4db_bench::{banner, quick_criterion};
+use ml4db_core::survey::{
+    corpus, figure1_from, figure1_series, late_share, render_figure1, Paradigm,
+};
+
+fn regenerate() {
+    banner("F1", "publication trend, replacement vs ML-enhanced (Figure 1)");
+    let series = figure1_series();
+    print!("{}", render_figure1(&series));
+    let enh = late_share(&series, Paradigm::MlEnhanced);
+    let repl = late_share(&series, Paradigm::Replacement);
+    println!("\nshare of publications in 2021-2023:");
+    println!("  replacement: {:.0}%", repl * 100.0);
+    println!("  ml-enhanced: {:.0}%", enh * 100.0);
+    println!(
+        "shape check (shift to ML-enhanced): {}",
+        if enh > repl { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let publications = corpus();
+    c.bench_function("fig1/aggregate_series", |b| {
+        b.iter(|| figure1_from(black_box(&publications)))
+    });
+}
+
+fn main() {
+    regenerate();
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

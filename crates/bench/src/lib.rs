@@ -1,0 +1,30 @@
+//! Support library for the experiment benches.
+//!
+//! Every bench target regenerates one table or figure (see EXPERIMENTS.md
+//! for the index): it prints the experiment's rows/series to stdout, then
+//! registers a small Criterion group timing the core operation. Criterion
+//! settings are kept light ([`quick_criterion`]) because the scientific
+//! output is the printed series, not nanosecond timings.
+
+use criterion::Criterion;
+
+/// A Criterion instance with a small sample budget suitable for
+/// experiment-style benches.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+/// Prints a section header for an experiment's regenerated output.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n================================================================");
+    println!("{id}: {claim}");
+    println!("================================================================");
+}
+
+/// Formats a ratio as a "×" factor string.
+pub fn factor(a: f64, b: f64) -> String {
+    format!("{:.2}x", a / b.max(1e-12))
+}

@@ -1,0 +1,256 @@
+//! Handling data & workload shifts (open problem 2): drift detection via a
+//! two-sample Kolmogorov–Smirnov test over prediction errors, Warper-style
+//! fast adaptation on a recent window \[20\], and DDUp-style
+//! detect–distill–update \[19\] that preserves old knowledge while absorbing
+//! the new distribution.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use ml4db_plan::{CardEstimator, Query};
+use ml4db_storage::Database;
+
+use crate::mscn::{CardSample, MscnEstimator};
+
+/// Two-sample Kolmogorov–Smirnov statistic (sup CDF distance).
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        // Advance past ties on both sides together so equal samples never
+        // create a spurious CDF gap.
+        match sa[i].partial_cmp(&sb[j]).unwrap_or(std::cmp::Ordering::Equal) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let v = sa[i];
+                while i < sa.len() && sa[i] == v {
+                    i += 1;
+                }
+                while j < sb.len() && sb[j] == v {
+                    j += 1;
+                }
+            }
+        }
+        let fa = i as f64 / sa.len() as f64;
+        let fb = j as f64 / sb.len() as f64;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Online drift detector over a stream of model errors (log q-errors).
+///
+/// Keeps a frozen reference window from the stable period and a sliding
+/// recent window; flags drift when the KS distance between them exceeds the
+/// threshold.
+#[derive(Clone, Debug)]
+pub struct DriftDetector {
+    reference: Vec<f64>,
+    recent: VecDeque<f64>,
+    window: usize,
+    /// KS distance above which drift is reported.
+    pub threshold: f64,
+}
+
+impl DriftDetector {
+    /// Creates a detector with the given window size and threshold.
+    pub fn new(window: usize, threshold: f64) -> Self {
+        Self {
+            reference: Vec::new(),
+            recent: VecDeque::with_capacity(window),
+            window: window.max(4),
+            threshold,
+        }
+    }
+
+    /// Observes one error; returns `true` when drift is detected.
+    pub fn observe(&mut self, error: f64) -> bool {
+        if self.reference.len() < self.window {
+            self.reference.push(error);
+            return false;
+        }
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(error);
+        if self.recent.len() < self.window {
+            return false;
+        }
+        let recent: Vec<f64> = self.recent.iter().copied().collect();
+        ks_statistic(&self.reference, &recent) > self.threshold
+    }
+
+    /// Resets after adaptation: the recent window becomes the new reference.
+    pub fn reset(&mut self) {
+        self.reference = self.recent.iter().copied().collect();
+        self.recent.clear();
+    }
+}
+
+/// Warper-style adaptation \[20\]: keep a bounded buffer of the most recent
+/// labeled queries and quickly refit the estimator on them when drift
+/// fires, weighting recent experience only.
+pub struct WarperAdapter {
+    /// Recent labeled samples (the adaptation set).
+    pub buffer: VecDeque<CardSample>,
+    capacity: usize,
+}
+
+impl WarperAdapter {
+    /// Creates an adapter holding at most `capacity` recent samples.
+    pub fn new(capacity: usize) -> Self {
+        Self { buffer: VecDeque::with_capacity(capacity), capacity: capacity.max(8) }
+    }
+
+    /// Records a freshly labeled sample.
+    pub fn record(&mut self, sample: CardSample) {
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(sample);
+    }
+
+    /// Refits the estimator on the recent window (fast adaptation).
+    pub fn adapt<R: Rng + ?Sized>(
+        &self,
+        db: &Database,
+        model: &mut MscnEstimator,
+        epochs: usize,
+        rng: &mut R,
+    ) {
+        let samples: Vec<CardSample> = self.buffer.iter().cloned().collect();
+        if samples.is_empty() {
+            return;
+        }
+        model.fit(db, &samples, epochs, 0.005, rng);
+    }
+}
+
+/// DDUp-style detect–distill–update \[19\]: when drift fires, train a fresh
+/// model on the union of (a) new labeled samples and (b) *distilled*
+/// samples — old-regime queries re-labeled by the old model — so knowledge
+/// of the unchanged region survives the update.
+pub struct DdupAdapter;
+
+impl DdupAdapter {
+    /// Produces distilled samples: `old_queries` labeled by `old_model`.
+    pub fn distill(
+        db: &Database,
+        old_model: &MscnEstimator,
+        old_queries: &[(Query, u64)],
+    ) -> Vec<CardSample> {
+        old_queries
+            .iter()
+            .map(|(q, mask)| CardSample {
+                query: q.clone(),
+                mask: *mask,
+                card: old_model.estimate(db, q, *mask),
+            })
+            .collect()
+    }
+
+    /// Runs the full update: distill + union + retrain a new model.
+    pub fn update<R: Rng + ?Sized>(
+        db: &Database,
+        old_model: &MscnEstimator,
+        old_queries: &[(Query, u64)],
+        new_samples: &[CardSample],
+        epochs: usize,
+        rng: &mut R,
+    ) -> MscnEstimator {
+        let mut data = Self::distill(db, old_model, old_queries);
+        data.extend_from_slice(new_samples);
+        let mut fresh = MscnEstimator::new(32, rng);
+        fresh.fit(db, &data, epochs, 0.005, rng);
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_zero_for_identical() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn ks_large_for_shifted() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| 5.0 + i as f64 / 100.0).collect();
+        assert!(ks_statistic(&a, &b) > 0.9);
+    }
+
+    #[test]
+    fn detector_quiet_on_stationary_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut det = DriftDetector::new(30, 0.5);
+        for _ in 0..200 {
+            let e: f64 = rng.gen_range(0.0..1.0);
+            assert!(!det.observe(e), "false positive on stationary stream");
+        }
+    }
+
+    #[test]
+    fn detector_fires_on_shift() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut det = DriftDetector::new(30, 0.5);
+        for _ in 0..100 {
+            det.observe(rng.gen_range(0.0..1.0));
+        }
+        let mut fired = false;
+        for _ in 0..60 {
+            if det.observe(rng.gen_range(4.0..6.0)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "detector missed a large shift");
+    }
+
+    #[test]
+    fn detector_reset_rebaselines() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut det = DriftDetector::new(20, 0.5);
+        for _ in 0..60 {
+            det.observe(rng.gen_range(0.0..1.0));
+        }
+        for _ in 0..40 {
+            det.observe(rng.gen_range(4.0..5.0));
+        }
+        det.reset();
+        // The shifted regime is now the baseline: no more alarms on it.
+        let mut fired = false;
+        for _ in 0..60 {
+            fired |= det.observe(rng.gen_range(4.0..5.0));
+        }
+        assert!(!fired, "alarm after rebaselining");
+    }
+
+    #[test]
+    fn warper_buffer_is_bounded() {
+        let mut w = WarperAdapter::new(10);
+        for i in 0..25 {
+            w.record(CardSample {
+                query: ml4db_plan::Query::new(&["t"]),
+                mask: 1,
+                card: i as f64,
+            });
+        }
+        assert_eq!(w.buffer.len(), 10);
+        assert_eq!(w.buffer.front().unwrap().card, 15.0);
+    }
+}

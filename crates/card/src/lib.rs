@@ -1,0 +1,28 @@
+//! # ml4db-card — cardinality estimation and drift handling
+//!
+//! The estimation side of the tutorial's open problems: the classical
+//! baseline lives in `ml4db-plan` ([`ml4db_plan::ClassicEstimator`]); this
+//! crate adds the learned estimators behind the same
+//! [`ml4db_plan::CardEstimator`] trait —
+//!
+//! * [`mscn::MscnEstimator`] — MSCN-style MLP over a set featurization
+//!   (accurate, training-hungry);
+//! * [`nngp::NngpEstimator`] — the lightweight Bayesian NNGP of Zhao et
+//!   al. \[55\] (closed-form training, calibrated uncertainty; E14);
+//!
+//! and the machinery for **data & workload shifts** (E15):
+//! [`drift::DriftDetector`] (KS-test alarm), [`drift::WarperAdapter`]
+//! (recent-window fast adaptation \[20\]), and [`drift::DdupAdapter`]
+//! (detect–distill–update \[19\]).
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod features;
+pub mod mscn;
+pub mod nngp;
+
+pub use drift::{DdupAdapter, DriftDetector, WarperAdapter};
+pub use features::{query_features, QUERY_DIM};
+pub use mscn::{collect_samples, CardSample, MscnEstimator};
+pub use nngp::NngpEstimator;

@@ -1,0 +1,52 @@
+//! # ml4db-core — the umbrella crate
+//!
+//! One entry point over the whole workspace, organized along the
+//! tutorial's three themes:
+//!
+//! * **Foundations** — plan representation ([`ml4db_repr`]) and
+//!   pretrained/unified models ([`ml4db_pretrain`]);
+//! * **Paradigms** — replacement vs ML-enhanced, on indexes
+//!   ([`ml4db_index`], [`ml4db_spatial`]) and the query optimizer
+//!   ([`ml4db_optimizer`]); the [`paradigm`] module captures the pattern
+//!   itself (guardrails, robustness reports);
+//! * **Open problems** — model efficiency and drift ([`ml4db_card`]),
+//!   training-data generation ([`ml4db_datagen`]).
+//!
+//! [`pipeline`] has one-call end-to-end flows; [`prelude`] re-exports the
+//! common surface. The survey artifacts (Figure 1, Table 1) live in
+//! [`ml4db_survey`].
+
+#![warn(missing_docs)]
+
+pub mod paradigm;
+pub mod pipeline;
+
+pub use ml4db_card as card;
+pub use ml4db_datagen as datagen;
+pub use ml4db_index as index;
+pub use ml4db_nn as nn;
+pub use ml4db_optimizer as optimizer;
+pub use ml4db_plan as plan;
+pub use ml4db_pretrain as pretrain;
+pub use ml4db_repr as repr;
+pub use ml4db_spatial as spatial;
+pub use ml4db_storage as storage;
+pub use ml4db_survey as survey;
+
+/// Curated re-exports for downstream users.
+pub mod prelude {
+    pub use crate::paradigm::{GuardedEstimator, ParadigmKind, RobustnessReport};
+    pub use crate::pipeline::{demo_database, demo_workload, train_bao};
+    pub use ml4db_card::{MscnEstimator, NngpEstimator};
+    pub use ml4db_datagen::{SchemaGraph, WorkloadConfig, WorkloadGenerator};
+    pub use ml4db_index::{AlexIndex, BPlusTree, DynamicPgm, MutableIndex, OrderedIndex, PgmIndex, RadixSpline, Rmi};
+    pub use ml4db_optimizer::{AutoSteer, Balsa, Bao, Env, Leon, Neo, ParamTree, Rtos};
+    pub use ml4db_plan::{
+        bao_arms, CardEstimator, ClassicEstimator, CostModel, HintSet, PlanNode, Planner, Query,
+        TrueCardinality,
+    };
+    pub use ml4db_repr::{featurize_plan, CostRegressor, FeatureConfig, PlanEncoder, TreeModelKind};
+    pub use ml4db_spatial::{AiRTree, GuttmanPolicy, LisaIndex, PlatonPacker, RTree, RsmiIndex, ZmIndex};
+    pub use ml4db_storage::{CmpOp, Database, Value};
+    pub use ml4db_survey::{figure1_series, render_figure1, render_table1, table1};
+}

@@ -1,0 +1,20 @@
+//! # ml4db-datagen — workloads and training-data generation
+//!
+//! Open problem 4 of the tutorial: training data is the bottleneck of
+//! ML4DB. This crate provides
+//!
+//! * [`workload`] — parametric SPJ workload generators over the synthetic
+//!   schemas (join-graph aware, with value-skew knobs and
+//!   [`workload::DriftSchedule`]s for sudden/gradual workload shift), and
+//! * [`sam`] — SAM-style database generation from query feedback \[49\]:
+//!   fit a joint distribution to observed (range, cardinality) constraints
+//!   via iterative proportional fitting and sample a synthetic,
+//!   cardinality-faithful table, optionally from Laplace-privatized counts.
+
+#![warn(missing_docs)]
+
+pub mod sam;
+pub mod workload;
+
+pub use sam::{observe_constraints, privatize_constraints, RangeConstraint, SamGenerator};
+pub use workload::{DriftSchedule, SchemaGraph, WorkloadConfig, WorkloadGenerator};

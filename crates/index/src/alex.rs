@@ -1,0 +1,512 @@
+//! An ALEX-style updatable adaptive learned index (Ding et al. \[6\]):
+//! model-based inserts into gapped arrays, node expansion on density
+//! pressure, and node splits — the "replacement" paradigm's answer to the
+//! static-RMI update problem.
+
+use crate::model::LinearModel;
+use crate::{KeyValue, MutableIndex, OrderedIndex};
+
+/// Density above which a leaf expands or splits.
+const MAX_DENSITY: f64 = 0.7;
+/// Leaf entry count above which a full leaf splits instead of expanding.
+const MAX_LEAF_KEYS: usize = 512;
+/// Initial slots per empty leaf.
+const MIN_CAPACITY: usize = 16;
+
+/// A gapped array leaf: slots with gaps, positioned by a linear model.
+#[derive(Clone, Debug)]
+struct GappedLeaf {
+    slots: Vec<Option<KeyValue>>,
+    model: LinearModel,
+    count: usize,
+}
+
+impl GappedLeaf {
+    fn empty() -> Self {
+        Self {
+            slots: vec![None; MIN_CAPACITY],
+            model: LinearModel::flat(),
+            count: 0,
+        }
+    }
+
+    /// Builds a leaf from sorted entries at the target density.
+    fn from_sorted(entries: &[KeyValue]) -> Self {
+        let count = entries.len();
+        let capacity = ((count as f64 / (MAX_DENSITY * 0.7)).ceil() as usize)
+            .max(MIN_CAPACITY)
+            .max(count + 2);
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        // Model maps keys onto slot space.
+        let pos_model = LinearModel::fit_positions(&keys);
+        let scale = capacity as f64 / count.max(1) as f64;
+        let model = LinearModel {
+            slope: pos_model.slope * scale,
+            intercept: pos_model.intercept * scale,
+        };
+        let mut slots = vec![None; capacity];
+        // Model-based placement preserving order: walk entries, placing each
+        // at max(predicted, last + 1).
+        let mut next_free = 0usize;
+        for (i, &e) in entries.iter().enumerate() {
+            let remaining = count - i; // this entry included
+            let pred = model.predict(e.0, capacity);
+            // Clamp so every remaining entry still fits after this one.
+            let at = pred.max(next_free).min(capacity - remaining);
+            slots[at] = Some(e);
+            next_free = at + 1;
+        }
+        Self { slots, model, count }
+    }
+
+    fn density(&self) -> f64 {
+        self.count as f64 / self.slots.len() as f64
+    }
+
+    /// Finds the slot holding `key`, searching outward from the prediction.
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let cap = self.slots.len();
+        let pred = self.model.predict(key, cap);
+        // Scan outward; gaps make classical exponential search awkward, and
+        // leaves are small, so a bounded bidirectional scan is both simple
+        // and fast.
+        // First check the prediction, then alternate left/right.
+        for radius in 0..cap {
+            let right = pred + radius;
+            if right < cap {
+                if let Some(e) = self.slots[right] {
+                    if e.0 == key {
+                        return Some(right);
+                    }
+                    if e.0 < key && radius > 0 {
+                        // Everything further left of `right` is smaller; only
+                        // the right side can still hold the key.
+                        return self.scan_right(right + 1, key);
+                    }
+                }
+            }
+            if radius > 0 && pred >= radius {
+                let left = pred - radius;
+                if let Some(e) = self.slots[left] {
+                    if e.0 == key {
+                        return Some(left);
+                    }
+                    if e.0 > key {
+                        return self.scan_left(left, key);
+                    }
+                }
+            }
+            if right >= cap && pred < radius {
+                break;
+            }
+        }
+        None
+    }
+
+    fn scan_right(&self, from: usize, key: u64) -> Option<usize> {
+        for (i, s) in self.slots.iter().enumerate().skip(from) {
+            if let Some(e) = s {
+                if e.0 == key {
+                    return Some(i);
+                }
+                if e.0 > key {
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    fn scan_left(&self, from: usize, key: u64) -> Option<usize> {
+        for i in (0..from).rev() {
+            if let Some(e) = self.slots[i] {
+                if e.0 == key {
+                    return Some(i);
+                }
+                if e.0 < key {
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts keeping slot order; returns false when the leaf must grow.
+    fn try_insert(&mut self, key: u64, value: u64) -> bool {
+        if let Some(at) = self.find(key) {
+            self.slots[at] = Some((key, value));
+            return true;
+        }
+        if self.density() >= MAX_DENSITY {
+            return false;
+        }
+        let cap = self.slots.len();
+        let pred = self.model.predict(key, cap);
+        // The key must land strictly after the last occupied entry < key (L)
+        // and strictly before the first occupied entry >= key (P).
+        let (l_bound, p_bound) = self.insertion_window(key, pred);
+        let gap_start = l_bound.map_or(0, |l| l + 1);
+        if let Some(gap) = (gap_start..p_bound.min(cap)).find(|&i| self.slots[i].is_none()) {
+            self.slots[gap] = Some((key, value));
+            self.count += 1;
+            return true;
+        }
+        // No gap between neighbors: shift toward the nearest outside gap.
+        let gap_right = (p_bound..cap).find(|&i| self.slots[i].is_none());
+        let gap_left = l_bound.and_then(|l| (0..l).rev().find(|&i| self.slots[i].is_none()));
+        let prefer_right = match (gap_left, gap_right) {
+            (None, None) => return false,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(l), Some(r)) => r - p_bound <= l_bound.expect("gap_left implies L") - l,
+        };
+        if prefer_right {
+            let g = gap_right.expect("prefer_right implies a right gap");
+            // Shift [p_bound, g) right by one; key takes p_bound.
+            for i in (p_bound..g).rev() {
+                self.slots[i + 1] = self.slots[i].take();
+            }
+            self.slots[p_bound] = Some((key, value));
+        } else {
+            let g = gap_left.expect("checked above");
+            let l = l_bound.expect("gap_left implies L");
+            // Shift (g, L] left by one, vacating L; key (which is > all of
+            // them) takes L.
+            for i in g..l {
+                self.slots[i] = self.slots[i + 1].take();
+            }
+            self.slots[l] = Some((key, value));
+        }
+        self.count += 1;
+        true
+    }
+
+    /// Returns `(L, P)` for `key`: `L` is the slot of the last occupied
+    /// entry `< key` (None if no smaller entry), `P` is the slot of the
+    /// first occupied entry `>= key` (`slots.len()` if none). Starts from
+    /// the model prediction and walks the occupied chain.
+    fn insertion_window(&self, key: u64, pred: usize) -> (Option<usize>, usize) {
+        let cap = self.slots.len();
+        // Find the nearest occupied slot to the prediction.
+        let start = pred.min(cap - 1);
+        let nearest = (0..cap)
+            .flat_map(|r| {
+                let mut v = Vec::with_capacity(2);
+                if start + r < cap {
+                    v.push(start + r);
+                }
+                if r > 0 && start >= r {
+                    v.push(start - r);
+                }
+                v
+            })
+            .find(|&i| self.slots[i].is_some());
+        let Some(mut at) = nearest else {
+            return (None, cap); // leaf is empty
+        };
+        if self.slots[at].expect("occupied").0 < key {
+            // Walk right through occupied entries until >= key.
+            let mut last_smaller = at;
+            loop {
+                match (at + 1..cap).find(|&i| self.slots[i].is_some()) {
+                    None => return (Some(last_smaller), cap),
+                    Some(next) => {
+                        if self.slots[next].expect("occupied").0 >= key {
+                            return (Some(last_smaller), next);
+                        }
+                        last_smaller = next;
+                        at = next;
+                    }
+                }
+            }
+        } else {
+            // Walk left through occupied entries until < key.
+            let mut first_ge = at;
+            loop {
+                match (0..at).rev().find(|&i| self.slots[i].is_some()) {
+                    None => return (None, first_ge),
+                    Some(prev) => {
+                        if self.slots[prev].expect("occupied").0 < key {
+                            return (Some(prev), first_ge);
+                        }
+                        first_ge = prev;
+                        at = prev;
+                    }
+                }
+            }
+        }
+    }
+
+    fn sorted_entries(&self) -> Vec<KeyValue> {
+        self.slots.iter().flatten().copied().collect()
+    }
+}
+
+/// The ALEX-style index: a sorted leaf directory over gapped-array leaves.
+#[derive(Clone, Debug)]
+pub struct AlexIndex {
+    /// `(lowest key, leaf)` pairs, sorted by boundary key.
+    leaves: Vec<(u64, GappedLeaf)>,
+    len: usize,
+    /// Structural-modification counters (for the E2 robustness experiment).
+    pub expansions: usize,
+    /// Number of leaf splits performed.
+    pub splits: usize,
+}
+
+impl Default for AlexIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlexIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self { leaves: vec![(0, GappedLeaf::empty())], len: 0, expansions: 0, splits: 0 }
+    }
+
+    /// Bulk-loads from sorted entries.
+    pub fn bulk_load(entries: &[KeyValue]) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "AlexIndex::bulk_load: unsorted input"
+        );
+        if entries.is_empty() {
+            return Self::new();
+        }
+        let per_leaf = MAX_LEAF_KEYS / 2;
+        let leaves: Vec<(u64, GappedLeaf)> = entries
+            .chunks(per_leaf)
+            .map(|chunk| (chunk[0].0, GappedLeaf::from_sorted(chunk)))
+            .collect();
+        Self { leaves, len: entries.len(), expansions: 0, splits: 0 }
+    }
+
+    fn leaf_for(&self, key: u64) -> usize {
+        self.leaves.partition_point(|(b, _)| *b <= key).saturating_sub(1)
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    fn grow_leaf(&mut self, li: usize) {
+        let entries = self.leaves[li].1.sorted_entries();
+        if entries.len() >= MAX_LEAF_KEYS {
+            // Split into two leaves.
+            let mid = entries.len() / 2;
+            let left = GappedLeaf::from_sorted(&entries[..mid]);
+            let right_boundary = entries[mid].0;
+            let right = GappedLeaf::from_sorted(&entries[mid..]);
+            self.leaves[li].1 = left;
+            self.leaves.insert(li + 1, (right_boundary, right));
+            self.splits += 1;
+        } else {
+            // Expand & retrain in place.
+            self.leaves[li].1 = GappedLeaf::from_sorted(&entries);
+            self.expansions += 1;
+        }
+    }
+
+    /// Validates ordering invariants (used in property tests).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev_key: Option<u64> = None;
+        for (li, (boundary, leaf)) in self.leaves.iter().enumerate() {
+            let entries = leaf.sorted_entries();
+            if entries.len() != leaf.count {
+                return Err(format!("leaf {li} count mismatch"));
+            }
+            // Slot order must be key order.
+            if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("leaf {li} slots out of order"));
+            }
+            for e in &entries {
+                if li > 0 && e.0 < *boundary {
+                    return Err(format!("leaf {li} key {} below boundary {boundary}", e.0));
+                }
+                if let Some(p) = prev_key {
+                    if e.0 <= p {
+                        return Err(format!("global order violated at key {}", e.0));
+                    }
+                }
+                prev_key = Some(e.0);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl OrderedIndex for AlexIndex {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let li = self.leaf_for(key);
+        let leaf = &self.leaves[li].1;
+        leaf.find(key).and_then(|at| leaf.slots[at]).map(|e| e.1)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        if lo > hi {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let start = self.leaf_for(lo);
+        for (boundary, leaf) in &self.leaves[start..] {
+            if *boundary > hi && !out.is_empty() {
+                break;
+            }
+            for e in leaf.slots.iter().flatten() {
+                if e.0 >= lo && e.0 <= hi {
+                    out.push(*e);
+                }
+            }
+            if *boundary > hi {
+                break;
+            }
+        }
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.leaves
+            .iter()
+            .map(|(_, l)| {
+                l.slots.capacity() * std::mem::size_of::<Option<KeyValue>>()
+                    + std::mem::size_of::<LinearModel>()
+            })
+            .sum()
+    }
+}
+
+impl MutableIndex for AlexIndex {
+    fn insert(&mut self, key: u64, value: u64) {
+        let li = self.leaf_for(key);
+        let existed = self.leaves[li].1.find(key).is_some();
+        if self.leaves[li].1.try_insert(key, value) {
+            if !existed {
+                self.len += 1;
+            }
+            return;
+        }
+        self.grow_leaf(li);
+        // Retry: after growth the key may route to a new leaf.
+        let li = self.leaf_for(key);
+        let ok = self.leaves[li].1.try_insert(key, value);
+        debug_assert!(ok, "insert failed after leaf growth");
+        if ok && !existed {
+            self.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = AlexIndex::new();
+        for k in (0..2000u64).rev() {
+            idx.insert(k * 2, k);
+        }
+        idx.validate().unwrap();
+        assert_eq!(idx.len(), 2000);
+        for k in 0..2000u64 {
+            assert_eq!(idx.get(k * 2), Some(k));
+            assert_eq!(idx.get(k * 2 + 1), None);
+        }
+    }
+
+    #[test]
+    fn bulk_load_and_get() {
+        let entries: Vec<KeyValue> = (0..10_000u64).map(|k| (k * 7, k)).collect();
+        let idx = AlexIndex::bulk_load(&entries);
+        idx.validate().unwrap();
+        for &(k, v) in entries.iter().step_by(13) {
+            assert_eq!(idx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn overwrite_value() {
+        let mut idx = AlexIndex::new();
+        idx.insert(42, 1);
+        idx.insert(42, 2);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(42), Some(2));
+    }
+
+    #[test]
+    fn splits_happen_under_pressure() {
+        let mut idx = AlexIndex::new();
+        for k in 0..5000u64 {
+            idx.insert(k, k);
+        }
+        assert!(idx.num_leaves() > 1, "no splits after 5000 inserts");
+        assert!(idx.splits > 0);
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut idx = AlexIndex::new();
+        for k in 0..1000u64 {
+            idx.insert(k * 3, k);
+        }
+        let got = idx.range(30, 60);
+        let expected: Vec<KeyValue> = (10..=20u64).map(|k| (k * 3, k)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn skewed_inserts_into_bulk_loaded() {
+        // Bulk-load uniform, then hammer one hot region (the ALEX setting).
+        let entries: Vec<KeyValue> = (0..5000u64).map(|k| (k * 1000, k)).collect();
+        let mut idx = AlexIndex::bulk_load(&entries);
+        for k in 0..3000u64 {
+            idx.insert(2_000_000 + k, k);
+        }
+        idx.validate().unwrap();
+        for k in (0..3000u64).step_by(17) {
+            assert_eq!(idx.get(2_000_000 + k), Some(k));
+        }
+        for &(k, v) in entries.iter().step_by(97) {
+            assert_eq!(idx.get(k), Some(v), "pre-existing key lost");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// ALEX agrees with a BTreeMap oracle and keeps its invariants under
+        /// arbitrary insert workloads.
+        #[test]
+        fn oracle_agreement(ops in proptest::collection::vec((0u64..10_000, 0u64..100), 1..500)) {
+            let mut idx = AlexIndex::new();
+            let mut oracle = BTreeMap::new();
+            for (k, v) in ops {
+                idx.insert(k, v);
+                oracle.insert(k, v);
+            }
+            idx.validate().unwrap();
+            prop_assert_eq!(idx.len(), oracle.len());
+            for (&k, &v) in &oracle {
+                prop_assert_eq!(idx.get(k), Some(v), "key {}", k);
+            }
+            let got = idx.range(2500, 7500);
+            let expected: Vec<KeyValue> =
+                oracle.range(2500..=7500).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! A from-scratch B+Tree — the classical structure the first learned index
+//! (RMI \[17\]) proposed to replace, and the baseline of experiments E1/E2.
+
+use crate::{KeyValue, MutableIndex, OrderedIndex};
+
+/// Maximum number of keys per node (fan-out − 1).
+const ORDER: usize = 32;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Internal { keys: Vec<u64>, children: Vec<Box<Node>> },
+    Leaf { entries: Vec<KeyValue> },
+}
+
+/// An in-memory B+Tree over `u64` keys with `u64` payloads.
+///
+/// Keys are unique: inserting an existing key overwrites its value, as in a
+/// primary-key index.
+#[derive(Clone, Debug)]
+pub struct BPlusTree {
+    root: Box<Node>,
+    len: usize,
+    height: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: Box::new(Node::Leaf { entries: Vec::new() }), len: 0, height: 1 }
+    }
+
+    /// Bulk-loads a tree from sorted, deduplicated `(key, value)` pairs.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the input is not strictly sorted by key.
+    pub fn bulk_load(entries: &[KeyValue]) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "bulk_load: unsorted input");
+        let mut tree = Self::new();
+        if entries.is_empty() {
+            return tree;
+        }
+        // Fill leaves at ~2/3 occupancy, then build internal levels.
+        let per_leaf = (ORDER * 2 / 3).max(1);
+        let mut level: Vec<(u64, Box<Node>)> = entries
+            .chunks(per_leaf)
+            .map(|chunk| (chunk[0].0, Box::new(Node::Leaf { entries: chunk.to_vec() })))
+            .collect();
+        let mut height = 1;
+        while level.len() > 1 {
+            let per_node = (ORDER * 2 / 3).max(2);
+            level = level
+                .chunks(per_node)
+                .map(|group| {
+                    let min_key = group[0].0;
+                    let keys = group[1..].iter().map(|(k, _)| *k).collect();
+                    let children = group.iter().map(|(_, n)| n.clone()).collect();
+                    (min_key, Box::new(Node::Internal { keys, children }))
+                })
+                .collect();
+            height += 1;
+        }
+        tree.root = level.pop().expect("non-empty level").1;
+        tree.len = entries.len();
+        tree.height = height;
+        tree
+    }
+
+    /// Tree height (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn insert_rec(node: &mut Node, key: u64, value: u64) -> (bool, Option<(u64, Box<Node>)>) {
+        match node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => {
+                        entries[i].1 = value;
+                        (false, None)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        if entries.len() > ORDER {
+                            let right = entries.split_off(entries.len() / 2);
+                            let sep = right[0].0;
+                            (true, Some((sep, Box::new(Node::Leaf { entries: right }))))
+                        } else {
+                            (true, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let (inserted, split) = Self::insert_rec(&mut children[idx], key, value);
+                if let Some((sep, new_child)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, new_child);
+                    if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let up_key = keys[mid];
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove up_key from the left node
+                        let right_children = children.split_off(mid + 1);
+                        let right = Box::new(Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        });
+                        return (inserted, Some((up_key, right)));
+                    }
+                }
+                (inserted, None)
+            }
+        }
+    }
+
+    fn collect_range(node: &Node, lo: u64, hi: u64, out: &mut Vec<KeyValue>) {
+        match node {
+            Node::Leaf { entries } => {
+                let start = entries.partition_point(|e| e.0 < lo);
+                for e in &entries[start..] {
+                    if e.0 > hi {
+                        break;
+                    }
+                    out.push(*e);
+                }
+            }
+            Node::Internal { keys, children } => {
+                let start = keys.partition_point(|&k| k <= lo);
+                // Descend into every child whose key range intersects [lo, hi].
+                let start = start.min(children.len() - 1);
+                for (i, child) in children.iter().enumerate().skip(start) {
+                    if i > 0 && keys[i - 1] > hi {
+                        break;
+                    }
+                    Self::collect_range(child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// Validates B+Tree invariants (sorted keys, separator correctness).
+    /// Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check(node: &Node, lo: Option<u64>, hi: Option<u64>) -> Result<(), String> {
+            match node {
+                Node::Leaf { entries } => {
+                    if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+                        return Err("unsorted leaf".into());
+                    }
+                    for e in entries {
+                        if lo.is_some_and(|l| e.0 < l) || hi.is_some_and(|h| e.0 >= h) {
+                            return Err(format!("leaf key {} outside ({lo:?},{hi:?})", e.0));
+                        }
+                    }
+                    Ok(())
+                }
+                Node::Internal { keys, children } => {
+                    if children.len() != keys.len() + 1 {
+                        return Err("child/key count mismatch".into());
+                    }
+                    if !keys.windows(2).all(|w| w[0] < w[1]) {
+                        return Err("unsorted internal keys".into());
+                    }
+                    for (i, child) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        check(child, clo, chi)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        check(&self.root, None, None)
+    }
+}
+
+impl OrderedIndex for BPlusTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let mut node = &*self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by_key(&key, |e| e.0)
+                        .ok()
+                        .map(|i| entries[i].1);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(&key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        let mut out = Vec::new();
+        if lo <= hi {
+            Self::collect_range(&self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    fn size_bytes(&self) -> usize {
+        fn node_size(node: &Node) -> usize {
+            match node {
+                Node::Leaf { entries } => {
+                    std::mem::size_of::<Node>() + entries.capacity() * std::mem::size_of::<KeyValue>()
+                }
+                Node::Internal { keys, children } => {
+                    std::mem::size_of::<Node>()
+                        + keys.capacity() * 8
+                        + children.capacity() * std::mem::size_of::<Box<Node>>()
+                        + children.iter().map(|c| node_size(c)).sum::<usize>()
+                }
+            }
+        }
+        node_size(&self.root)
+    }
+}
+
+impl MutableIndex for BPlusTree {
+    fn insert(&mut self, key: u64, value: u64) {
+        let (inserted, split) = BPlusTree::insert_rec(&mut self.root, key, value);
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Box::new(Node::Leaf { entries: Vec::new() }),
+            );
+            self.root = Box::new(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.height += 1;
+        }
+        if inserted {
+            self.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(3), Some(30));
+        assert_eq!(t.get(4), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut t = BPlusTree::new();
+        t.insert(1, 10);
+        t.insert(1, 20);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(20));
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let entries: Vec<KeyValue> = (0..1000u64).map(|k| (k * 3, k)).collect();
+        let bulk = BPlusTree::bulk_load(&entries);
+        bulk.validate().unwrap();
+        let mut inc = BPlusTree::new();
+        for &(k, v) in &entries {
+            inc.insert(k, v);
+        }
+        inc.validate().unwrap();
+        for &(k, v) in &entries {
+            assert_eq!(bulk.get(k), Some(v));
+            assert_eq!(inc.get(k), Some(v));
+            assert_eq!(bulk.get(k + 1), None);
+        }
+        assert_eq!(bulk.len(), 1000);
+    }
+
+    #[test]
+    fn range_scan() {
+        let entries: Vec<KeyValue> = (0..500u64).map(|k| (k * 2, k)).collect();
+        let t = BPlusTree::bulk_load(&entries);
+        let r = t.range(10, 20);
+        assert_eq!(r, vec![(10, 5), (12, 6), (14, 7), (16, 8), (18, 9), (20, 10)]);
+        assert!(t.range(999_999, 1_000_000).is_empty());
+        assert!(t.range(20, 10).is_empty(), "inverted range is empty");
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let entries: Vec<KeyValue> = (0..100_000u64).map(|k| (k, k)).collect();
+        let t = BPlusTree::bulk_load(&entries);
+        assert!(t.height() <= 5, "height {} too tall", t.height());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The B+Tree must agree with the standard-library BTreeMap oracle
+        /// under random insert workloads, and keep its invariants.
+        #[test]
+        fn matches_btreemap_oracle(ops in proptest::collection::vec((0u64..2000, 0u64..1000), 1..400)) {
+            let mut tree = BPlusTree::new();
+            let mut oracle = BTreeMap::new();
+            for (k, v) in ops {
+                tree.insert(k, v);
+                oracle.insert(k, v);
+            }
+            tree.validate().unwrap();
+            prop_assert_eq!(tree.len(), oracle.len());
+            for (&k, &v) in &oracle {
+                prop_assert_eq!(tree.get(k), Some(v));
+            }
+            // Ranges agree too.
+            let r = tree.range(250, 750);
+            let expected: Vec<KeyValue> =
+                oracle.range(250..=750).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(r, expected);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Key-set generators with controllable distribution shape, used by the
+//! learned-index experiments (E1/E2) and tests. Learned indexes shine on
+//! smooth CDFs and struggle on adversarially jumpy ones; these generators
+//! cover that spectrum.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+use crate::KeyValue;
+
+/// Distribution family of a synthetic key set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDistribution {
+    /// Dense sequential keys `base, base+1, ...` (best case for models).
+    Sequential,
+    /// Uniform random draws over `0..max`.
+    Uniform {
+        /// Exclusive upper bound of the key domain.
+        max: u64,
+    },
+    /// Lognormal(μ=0, σ) scaled to u64 — heavy-tailed, hard for one line.
+    LogNormal {
+        /// Shape parameter; larger = heavier tail.
+        sigma: f64,
+    },
+    /// Clustered: dense runs separated by large random gaps (models the
+    /// "pieces" that piecewise indexes like PGM exploit).
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+    },
+}
+
+/// Generates `n` strictly increasing unique keys from the distribution.
+pub fn generate_keys<R: Rng + ?Sized>(dist: KeyDistribution, n: usize, rng: &mut R) -> Vec<u64> {
+    let mut keys: Vec<u64> = match dist {
+        KeyDistribution::Sequential => (0..n as u64).map(|i| 1000 + i).collect(),
+        KeyDistribution::Uniform { max } => {
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < n {
+                set.insert(rng.gen_range(0..max));
+            }
+            set.into_iter().collect()
+        }
+        KeyDistribution::LogNormal { sigma } => {
+            let ln = LogNormal::new(0.0, sigma).expect("valid lognormal");
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < n {
+                let v: f64 = ln.sample(rng);
+                set.insert((v * 1e9) as u64);
+            }
+            set.into_iter().collect()
+        }
+        KeyDistribution::Clustered { clusters } => {
+            let clusters = clusters.max(1);
+            let per = (n / clusters).max(1);
+            let mut keys = Vec::with_capacity(n);
+            let mut base = 0u64;
+            while keys.len() < n {
+                base += rng.gen_range(1_000_000..100_000_000);
+                for i in 0..per {
+                    if keys.len() >= n {
+                        break;
+                    }
+                    keys.push(base + i as u64 * rng.gen_range(1..4));
+                }
+                base += per as u64 * 4;
+            }
+            keys.sort_unstable();
+            keys.dedup();
+            // Top up if dedup removed entries.
+            let mut next = keys.last().copied().unwrap_or(0) + 1;
+            while keys.len() < n {
+                keys.push(next);
+                next += 1;
+            }
+            keys
+        }
+    };
+    keys.sort_unstable();
+    keys.dedup();
+    debug_assert_eq!(keys.len(), n, "generator produced duplicates");
+    keys
+}
+
+/// Generates `(key, payload)` entries where the payload is the key's rank —
+/// the layout every index test in this crate expects.
+pub fn generate_entries<R: Rng + ?Sized>(
+    dist: KeyDistribution,
+    n: usize,
+    rng: &mut R,
+) -> Vec<KeyValue> {
+    generate_keys(dist, n, rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_distributions_sorted_unique() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            KeyDistribution::Sequential,
+            KeyDistribution::Uniform { max: 1 << 40 },
+            KeyDistribution::LogNormal { sigma: 1.0 },
+            KeyDistribution::Clustered { clusters: 10 },
+        ] {
+            let keys = generate_keys(dist, 5000, &mut rng);
+            assert_eq!(keys.len(), 5000, "{dist:?}");
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "{dist:?} not strictly sorted");
+        }
+    }
+
+    #[test]
+    fn entries_payload_is_rank() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = generate_entries(KeyDistribution::Uniform { max: 1 << 30 }, 100, &mut rng);
+        for (i, &(_, v)) in e.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # ml4db-index — learned one-dimensional indexes and their baseline
+//!
+//! Implements the "replacement" paradigm's flagship family from the tutorial
+//! (§3.2): the Recursive Model Index ([`rmi::Rmi`], Kraska et al. \[17\]), the
+//! PGM-index ([`pgm::PgmIndex`], Ferragina & Vinciguerra \[8\]) with a dynamic
+//! LSM-style variant, RadixSpline ([`radix_spline::RadixSpline`], Kipf et
+//! al. \[16\]), and an updatable ALEX-style gapped-array index
+//! ([`alex::AlexIndex`], Ding et al. \[6\]) — next to the classical
+//! [`btree::BPlusTree`] they propose to replace.
+//!
+//! All indexes map sorted `u64` keys to `u64` payloads behind the common
+//! [`OrderedIndex`] trait, with [`MutableIndex`] for the updatable ones, and
+//! report their structural size for the model-efficiency experiments (E14).
+
+#![warn(missing_docs)]
+
+pub mod alex;
+pub mod btree;
+pub mod keys;
+pub mod model;
+pub mod pgm;
+pub mod radix_spline;
+pub mod rmi;
+pub mod search;
+
+/// A key-value pair; all indexes in this crate store these.
+pub type KeyValue = (u64, u64);
+
+/// Read-only interface over an ordered key-value index.
+pub trait OrderedIndex {
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// True when the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup.
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// Inclusive range scan, ascending by key.
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue>;
+
+    /// Approximate structural memory footprint in bytes (models plus
+    /// auxiliary structures; learned indexes win this metric).
+    fn size_bytes(&self) -> usize;
+}
+
+/// An ordered index supporting single-key inserts.
+pub trait MutableIndex: OrderedIndex {
+    /// Inserts or overwrites a key.
+    fn insert(&mut self, key: u64, value: u64);
+}
+
+pub use alex::AlexIndex;
+pub use btree::BPlusTree;
+pub use pgm::{DynamicPgm, PgmIndex};
+pub use radix_spline::RadixSpline;
+pub use rmi::Rmi;

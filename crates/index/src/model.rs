@@ -1,0 +1,138 @@
+//! Linear key→position models — the atoms of every learned index.
+
+use crate::KeyValue;
+
+/// A linear model `pos ≈ slope * key + intercept` over `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearModel {
+    /// Slope.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Identity-ish model mapping everything to position 0.
+    pub fn flat() -> Self {
+        Self { slope: 0.0, intercept: 0.0 }
+    }
+
+    /// Least-squares fit of positions `0..n` against the given sorted keys.
+    pub fn fit_positions(keys: &[u64]) -> Self {
+        let n = keys.len();
+        if n == 0 {
+            return Self::flat();
+        }
+        if n == 1 {
+            return Self { slope: 0.0, intercept: 0.0 };
+        }
+        let xs: Vec<f64> = keys.iter().map(|&k| k as f64).collect();
+        let mean_x = xs.iter().sum::<f64>() / n as f64;
+        let mean_y = (n as f64 - 1.0) / 2.0;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (i, &x) in xs.iter().enumerate() {
+            cov += (x - mean_x) * (i as f64 - mean_y);
+            var += (x - mean_x) * (x - mean_x);
+        }
+        if var == 0.0 {
+            return Self { slope: 0.0, intercept: mean_y };
+        }
+        let slope = cov / var;
+        Self { slope, intercept: mean_y - slope * mean_x }
+    }
+
+    /// Fits the line through two `(key, position)` anchor points.
+    pub fn through(a: (u64, f64), b: (u64, f64)) -> Self {
+        if a.0 == b.0 {
+            return Self { slope: 0.0, intercept: a.1 };
+        }
+        let slope = (b.1 - a.1) / (b.0 as f64 - a.0 as f64);
+        Self { slope, intercept: a.1 - slope * a.0 as f64 }
+    }
+
+    /// Predicted (unclamped, real-valued) position for a key.
+    #[inline]
+    pub fn predict_f(&self, key: u64) -> f64 {
+        self.slope * key as f64 + self.intercept
+    }
+
+    /// Predicted position clamped to `[0, n)`.
+    #[inline]
+    pub fn predict(&self, key: u64, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let p = self.predict_f(key);
+        if p <= 0.0 {
+            0
+        } else if p >= (n - 1) as f64 {
+            n - 1
+        } else {
+            p as usize
+        }
+    }
+
+    /// Maximum absolute prediction error over sorted keys at their true
+    /// positions. The error bound learned indexes search within.
+    pub fn max_error(&self, keys: &[u64]) -> usize {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let p = self.predict(k, keys.len());
+                p.abs_diff(i)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts the sorted key column from key-value entries.
+pub fn keys_of(entries: &[KeyValue]) -> Vec<u64> {
+    entries.iter().map(|e| e.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_perfectly_linear_keys() {
+        let keys: Vec<u64> = (0..100).map(|i| 10 + i * 5).collect();
+        let m = LinearModel::fit_positions(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.predict(k, keys.len()), i, "key {k}");
+        }
+        assert_eq!(m.max_error(&keys), 0);
+    }
+
+    #[test]
+    fn fit_handles_duplicated_plateau() {
+        let keys = vec![5u64; 10];
+        let m = LinearModel::fit_positions(&keys);
+        let p = m.predict(5, 10);
+        assert!(p < 10);
+    }
+
+    #[test]
+    fn predict_clamps() {
+        let keys: Vec<u64> = (100..200).collect();
+        let m = LinearModel::fit_positions(&keys);
+        assert_eq!(m.predict(0, keys.len()), 0);
+        assert_eq!(m.predict(10_000, keys.len()), keys.len() - 1);
+    }
+
+    #[test]
+    fn through_two_points() {
+        let m = LinearModel::through((10, 0.0), (20, 10.0));
+        assert!((m.predict_f(15) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_error_reflects_curvature() {
+        // A quadratic CDF has non-zero linear-fit error.
+        let keys: Vec<u64> = (0..100u64).map(|i| i * i).collect();
+        let m = LinearModel::fit_positions(&keys);
+        assert!(m.max_error(&keys) > 0);
+    }
+}

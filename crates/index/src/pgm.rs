@@ -1,0 +1,531 @@
+//! The PGM-index (Ferragina & Vinciguerra \[8\]): a multi-level piecewise
+//! linear index with a provable per-level error bound ε, built in a single
+//! streaming pass, plus a dynamic LSM-style variant supporting inserts.
+
+use crate::model::LinearModel;
+use crate::search::{bounded_binary_search, exponential_search};
+use crate::{KeyValue, MutableIndex, OrderedIndex};
+
+/// One ε-bounded linear segment covering keys `>= first_key`.
+#[derive(Clone, Copy, Debug)]
+pub struct Segment {
+    /// Smallest key covered by this segment.
+    pub first_key: u64,
+    /// The key→position model of this segment.
+    pub model: LinearModel,
+    /// First position (in the indexed array) covered by this segment.
+    /// Predictions are clamped to `[start, next.start)` so keys falling in
+    /// the gap between segments cannot extrapolate arbitrarily far.
+    pub start: usize,
+}
+
+/// Builds an ε-bounded piecewise linear approximation of `(key, position)`
+/// using the shrinking-cone algorithm (single pass, O(n)): a new segment is
+/// opened whenever no line through the segment origin can keep every point
+/// within ±ε.
+pub fn build_segments(keys: &[u64], epsilon: usize) -> Vec<Segment> {
+    let eps = epsilon as f64;
+    let mut segments = Vec::new();
+    if keys.is_empty() {
+        return segments;
+    }
+    let mut start = 0usize;
+    let (mut slope_lo, mut slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    for i in 1..keys.len() {
+        let dx = (keys[i] - keys[start]) as f64;
+        if dx == 0.0 {
+            continue; // duplicate keys share a position estimate
+        }
+        let dy = (i - start) as f64;
+        let lo = (dy - eps) / dx;
+        let hi = (dy + eps) / dx;
+        let new_lo = slope_lo.max(lo);
+        let new_hi = slope_hi.min(hi);
+        if new_lo > new_hi {
+            // Close the segment with a feasible slope.
+            let slope = feasible_slope(slope_lo, slope_hi);
+            segments.push(Segment {
+                first_key: keys[start],
+                model: LinearModel {
+                    slope,
+                    intercept: start as f64 - slope * keys[start] as f64,
+                },
+                start,
+            });
+            start = i;
+            slope_lo = f64::NEG_INFINITY;
+            slope_hi = f64::INFINITY;
+        } else {
+            slope_lo = new_lo;
+            slope_hi = new_hi;
+        }
+    }
+    let slope = feasible_slope(slope_lo, slope_hi);
+    segments.push(Segment {
+        first_key: keys[start],
+        model: LinearModel { slope, intercept: start as f64 - slope * keys[start] as f64 },
+        start,
+    });
+    segments
+}
+
+fn feasible_slope(lo: f64, hi: f64) -> f64 {
+    match (lo.is_finite(), hi.is_finite()) {
+        (true, true) => 0.5 * (lo + hi),
+        (true, false) => lo,
+        (false, true) => hi.max(0.0),
+        (false, false) => 0.0, // single-point segment
+    }
+}
+
+/// A static PGM-index: recursive levels of ε-bounded segments over a sorted
+/// array. Every level guarantees its predictions are within ±ε of the true
+/// position, so each step of a lookup searches at most `2ε + 3` slots.
+#[derive(Clone, Debug)]
+pub struct PgmIndex {
+    entries: Vec<KeyValue>,
+    epsilon: usize,
+    /// `levels\[0\]` indexes the data; `levels[k+1]` indexes the first keys of
+    /// `levels[k]`. The last level has at most `BASE_FANOUT` segments.
+    levels: Vec<Vec<Segment>>,
+}
+
+const BASE_FANOUT: usize = 8;
+
+impl PgmIndex {
+    /// Builds a PGM-index with error bound `epsilon` over sorted entries.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if input is not strictly sorted.
+    pub fn build(entries: Vec<KeyValue>, epsilon: usize) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "PgmIndex::build: unsorted input"
+        );
+        let epsilon = epsilon.max(1);
+        let mut levels = Vec::new();
+        if !entries.is_empty() {
+            let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+            let mut segs = build_segments(&keys, epsilon);
+            levels.push(segs.clone());
+            while segs.len() > BASE_FANOUT {
+                let level_keys: Vec<u64> = segs.iter().map(|s| s.first_key).collect();
+                segs = build_segments(&level_keys, epsilon);
+                levels.push(segs.clone());
+            }
+        }
+        Self { entries, epsilon, levels }
+    }
+
+    /// The error bound ε.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// Number of levels (1 = segments directly over the data).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of segments across levels.
+    pub fn num_segments(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Index of the segment in `level` responsible for `key` (rightmost
+    /// segment with `first_key <= key`), found via the level above.
+    fn locate_segment(&self, key: u64) -> Option<(usize, &Segment)> {
+        let top = self.levels.last()?;
+        // Top level is small: scan it.
+        let mut idx = top.partition_point(|s| s.first_key <= key).saturating_sub(1);
+        // Walk down: each level's model predicts a position among the keys of
+        // the level below (which are that level's segment first-keys), and
+        // the prediction is clamped to the segment's covered range.
+        for depth in (0..self.levels.len() - 1).rev() {
+            let level = &self.levels[depth + 1];
+            let seg = &level[idx];
+            let below = &self.levels[depth];
+            let range_end =
+                level.get(idx + 1).map_or(below.len(), |next| next.start);
+            let pred = seg
+                .model
+                .predict(key, below.len())
+                .clamp(seg.start, range_end.saturating_sub(1).max(seg.start));
+            let lo = pred.saturating_sub(self.epsilon + 1).max(seg.start);
+            let hi = (pred + self.epsilon + 1).min(range_end.saturating_sub(1));
+            // Rightmost segment in [lo, hi] with first_key <= key.
+            let mut found = lo;
+            for (j, s) in below.iter().enumerate().take(hi + 1).skip(lo) {
+                if s.first_key <= key {
+                    found = j;
+                } else {
+                    break;
+                }
+            }
+            idx = found;
+        }
+        self.levels[0].get(idx).map(|s| (idx, s))
+    }
+
+    /// Clamped data-level position prediction for `key` given a located
+    /// segment index.
+    fn predict_data_pos(&self, idx: usize, seg: &Segment, key: u64) -> usize {
+        let range_end = self.levels[0]
+            .get(idx + 1)
+            .map_or(self.entries.len(), |next| next.start);
+        seg.model
+            .predict(key, self.entries.len())
+            .clamp(seg.start, range_end.saturating_sub(1).max(seg.start))
+    }
+
+    /// First position whose key is `>= key`.
+    pub fn lower_bound(&self, key: u64) -> usize {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let pred = match self.locate_segment(key) {
+            Some((idx, seg)) => self.predict_data_pos(idx, seg, key),
+            None => 0,
+        };
+        match exponential_search(&self.entries, key, pred).0 {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+
+    /// Borrow the underlying sorted entries.
+    pub fn entries(&self) -> &[KeyValue] {
+        &self.entries
+    }
+}
+
+impl OrderedIndex for PgmIndex {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let (idx, seg) = self.locate_segment(key)?;
+        let pred = self.predict_data_pos(idx, seg, key);
+        let lo = pred.saturating_sub(self.epsilon + 1);
+        let hi = pred + self.epsilon + 1;
+        bounded_binary_search(&self.entries, key, lo, hi)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        if lo > hi || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let start = self.lower_bound(lo);
+        self.entries[start..].iter().take_while(|e| e.0 <= hi).copied().collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.num_segments() * std::mem::size_of::<Segment>()
+    }
+}
+
+/// A dynamic PGM: LSM-style logarithmic collection of static PGM runs plus
+/// an unsorted insert buffer, as in the fully-dynamic PGM-index.
+#[derive(Clone, Debug)]
+pub struct DynamicPgm {
+    buffer: Vec<KeyValue>,
+    buffer_cap: usize,
+    /// Runs in increasing size order; each run's length is at most half the
+    /// next run's.
+    runs: Vec<PgmIndex>,
+    epsilon: usize,
+    len: usize,
+}
+
+impl DynamicPgm {
+    /// Creates an empty dynamic PGM with error bound `epsilon`.
+    pub fn new(epsilon: usize) -> Self {
+        Self { buffer: Vec::new(), buffer_cap: 256, runs: Vec::new(), epsilon, len: 0 }
+    }
+
+    /// Builds from sorted entries (one static run).
+    pub fn from_sorted(entries: Vec<KeyValue>, epsilon: usize) -> Self {
+        let len = entries.len();
+        Self {
+            buffer: Vec::new(),
+            buffer_cap: 256,
+            runs: vec![PgmIndex::build(entries, epsilon)],
+            epsilon,
+            len,
+        }
+    }
+
+    fn flush_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.buffer.sort_unstable_by_key(|e| e.0);
+        self.buffer.dedup_by_key(|e| e.0);
+        let mut merged: Vec<KeyValue> = std::mem::take(&mut self.buffer);
+        // Merge with runs smaller than the merged result (geometric policy),
+        // newest runs shadow older values for duplicate keys.
+        while let Some(last) = self.runs.last() {
+            if last.len() <= merged.len() * 2 {
+                let run = self.runs.pop().expect("checked non-empty");
+                merged = merge_shadowing(&merged, run.entries());
+            } else {
+                break;
+            }
+        }
+        self.runs.push(PgmIndex::build(merged, self.epsilon));
+        self.runs.sort_by_key(|r| std::cmp::Reverse(r.len()));
+        self.len = self.runs.iter().map(|r| r.len()).sum();
+    }
+
+    /// Number of static runs currently held.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// Merges two sorted runs; entries of `newer` shadow `older` on key ties.
+fn merge_shadowing(newer: &[KeyValue], older: &[KeyValue]) -> Vec<KeyValue> {
+    let mut out = Vec::with_capacity(newer.len() + older.len());
+    let (mut i, mut j) = (0, 0);
+    while i < newer.len() && j < older.len() {
+        match newer[i].0.cmp(&older[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(newer[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(older[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(newer[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&newer[i..]);
+    out.extend_from_slice(&older[j..]);
+    out
+}
+
+impl OrderedIndex for DynamicPgm {
+    fn len(&self) -> usize {
+        // Upper bound: duplicate keys across runs/buffer are counted once at
+        // flush time; the buffer may shadow run keys until then.
+        self.len + self.buffer.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        // Newest first: buffer, then runs from smallest (newest) to largest.
+        if let Some(e) = self.buffer.iter().rev().find(|e| e.0 == key) {
+            return Some(e.1);
+        }
+        for run in self.runs.iter().rev() {
+            if let Some(v) = run.get(key) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        if lo > hi {
+            return Vec::new();
+        }
+        // Gather from newest to oldest so the first occurrence of a key wins.
+        let mut seen = std::collections::BTreeMap::new();
+        for run in &self.runs {
+            for (k, v) in run.range(lo, hi) {
+                seen.insert(k, v);
+            }
+        }
+        for &(k, v) in &self.buffer {
+            if k >= lo && k <= hi {
+                seen.insert(k, v);
+            }
+        }
+        seen.into_iter().collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.size_bytes()).sum::<usize>()
+            + self.buffer.capacity() * std::mem::size_of::<KeyValue>()
+    }
+}
+
+impl MutableIndex for DynamicPgm {
+    fn insert(&mut self, key: u64, value: u64) {
+        self.buffer.retain(|e| e.0 != key);
+        self.buffer.push((key, value));
+        if self.buffer.len() >= self.buffer_cap {
+            self.flush_buffer();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{generate_entries, KeyDistribution};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn segments_respect_epsilon() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            KeyDistribution::Uniform { max: 1 << 40 },
+            KeyDistribution::LogNormal { sigma: 2.0 },
+            KeyDistribution::Clustered { clusters: 8 },
+        ] {
+            let entries = generate_entries(dist, 5000, &mut rng);
+            let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+            for eps in [4usize, 16, 64] {
+                let segs = build_segments(&keys, eps);
+                // Verify: every key's predicted position is within eps of truth.
+                let mut seg_idx = 0;
+                for (i, &k) in keys.iter().enumerate() {
+                    while seg_idx + 1 < segs.len() && segs[seg_idx + 1].first_key <= k {
+                        seg_idx += 1;
+                    }
+                    let pred = segs[seg_idx].model.predict_f(k);
+                    let err = (pred - i as f64).abs();
+                    assert!(
+                        err <= eps as f64 + 1.0,
+                        "{dist:?} eps={eps} key {k}: err {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_more_segments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let entries = generate_entries(KeyDistribution::LogNormal { sigma: 2.0 }, 10_000, &mut rng);
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let coarse = build_segments(&keys, 128).len();
+        let fine = build_segments(&keys, 4).len();
+        assert!(fine > coarse, "fine {fine} !> coarse {coarse}");
+    }
+
+    #[test]
+    fn lookup_all_present_keys() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dist in [
+            KeyDistribution::Sequential,
+            KeyDistribution::Uniform { max: 1 << 40 },
+            KeyDistribution::LogNormal { sigma: 2.0 },
+        ] {
+            let entries = generate_entries(dist, 8000, &mut rng);
+            let pgm = PgmIndex::build(entries.clone(), 16);
+            for &(k, v) in &entries {
+                assert_eq!(pgm.get(k), Some(v), "{dist:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_level_build() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let entries =
+            generate_entries(KeyDistribution::LogNormal { sigma: 2.5 }, 50_000, &mut rng);
+        let pgm = PgmIndex::build(entries.clone(), 4);
+        assert!(pgm.num_levels() >= 2, "expected recursion, got {}", pgm.num_levels());
+        for &(k, v) in entries.iter().step_by(97) {
+            assert_eq!(pgm.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_matches_filter() {
+        let entries: Vec<KeyValue> = (0..3000u64).map(|k| (k * 5 + 7, k)).collect();
+        let pgm = PgmIndex::build(entries.clone(), 8);
+        let got = pgm.range(500, 1500);
+        let expected: Vec<KeyValue> =
+            entries.iter().filter(|e| e.0 >= 500 && e.0 <= 1500).copied().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dynamic_insert_then_get() {
+        let mut pgm = DynamicPgm::new(16);
+        for k in 0..5000u64 {
+            pgm.insert(k * 3, k);
+        }
+        for k in 0..5000u64 {
+            assert_eq!(pgm.get(k * 3), Some(k), "key {}", k * 3);
+            assert_eq!(pgm.get(k * 3 + 1), None);
+        }
+        assert!(pgm.num_runs() >= 1);
+    }
+
+    #[test]
+    fn dynamic_overwrite_shadow() {
+        let mut pgm = DynamicPgm::new(16);
+        for k in 0..1000u64 {
+            pgm.insert(k, 1);
+        }
+        for k in 0..1000u64 {
+            pgm.insert(k, 2);
+        }
+        for k in (0..1000u64).step_by(37) {
+            assert_eq!(pgm.get(k), Some(2), "key {k} not shadowed");
+        }
+    }
+
+    #[test]
+    fn dynamic_range_across_runs_and_buffer() {
+        let mut pgm = DynamicPgm::from_sorted((0..1000u64).map(|k| (k * 2, k)).collect(), 16);
+        pgm.insert(3, 999);
+        pgm.insert(5, 998);
+        let r = pgm.range(0, 8);
+        assert_eq!(r, vec![(0, 0), (2, 1), (3, 999), (4, 2), (5, 998), (6, 3), (8, 4)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// ε-bound invariant: for any strictly sorted key set and ε, the
+        /// produced segmentation predicts every member key within ε+1.
+        #[test]
+        fn epsilon_invariant(
+            keys in proptest::collection::btree_set(0u64..1_000_000, 2..400),
+            eps in 1usize..32,
+        ) {
+            let keys: Vec<u64> = keys.into_iter().collect();
+            let segs = build_segments(&keys, eps);
+            let mut seg_idx = 0;
+            for (i, &k) in keys.iter().enumerate() {
+                while seg_idx + 1 < segs.len() && segs[seg_idx + 1].first_key <= k {
+                    seg_idx += 1;
+                }
+                let pred = segs[seg_idx].model.predict_f(k);
+                prop_assert!((pred - i as f64).abs() <= eps as f64 + 1.0);
+            }
+        }
+
+        /// Dynamic PGM agrees with a BTreeMap oracle under mixed workloads.
+        #[test]
+        fn dynamic_oracle(ops in proptest::collection::vec((0u64..5000, 0u64..100), 1..600)) {
+            let mut pgm = DynamicPgm::new(8);
+            let mut oracle = std::collections::BTreeMap::new();
+            for (k, v) in ops {
+                pgm.insert(k, v);
+                oracle.insert(k, v);
+            }
+            for (&k, &v) in oracle.iter().step_by(7) {
+                prop_assert_eq!(pgm.get(k), Some(v));
+            }
+            let got = pgm.range(1000, 2000);
+            let expected: Vec<KeyValue> =
+                oracle.range(1000..=2000).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

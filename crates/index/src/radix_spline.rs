@@ -1,0 +1,332 @@
+//! RadixSpline (Kipf et al. \[16\]): a single-pass learned index made of an
+//! error-bounded greedy spline over the CDF plus a radix table over key
+//! prefixes that narrows the spline-segment search.
+
+use crate::search::bounded_binary_search;
+use crate::{KeyValue, OrderedIndex};
+
+/// A spline knot: a `(key, position)` point the spline interpolates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Knot {
+    /// Key coordinate.
+    pub key: u64,
+    /// Position coordinate.
+    pub pos: usize,
+}
+
+/// Builds an error-bounded greedy spline: between consecutive knots, linear
+/// interpolation of any member key's position errs by at most `epsilon`.
+///
+/// Single pass, maintaining the cone of feasible slopes from the last knot
+/// (the GreedySplineCorridor algorithm).
+pub fn build_spline(keys: &[u64], epsilon: usize) -> Vec<Knot> {
+    let n = keys.len();
+    let mut knots = Vec::new();
+    if n == 0 {
+        return knots;
+    }
+    knots.push(Knot { key: keys[0], pos: 0 });
+    if n == 1 {
+        return knots;
+    }
+    let eps = epsilon as f64;
+    let mut base = 0usize; // index of the last knot
+    let (mut slope_lo, mut slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
+    let mut prev = 0usize;
+    for i in 1..n {
+        let dx = (keys[i] - keys[base]) as f64;
+        if dx == 0.0 {
+            continue;
+        }
+        let dy = (i - base) as f64;
+        let lo = (dy - eps) / dx;
+        let hi = (dy + eps) / dx;
+        let new_lo = slope_lo.max(lo);
+        let new_hi = slope_hi.min(hi);
+        if new_lo > new_hi {
+            // The previous point becomes a knot; restart the corridor.
+            knots.push(Knot { key: keys[prev], pos: prev });
+            base = prev;
+            let dx2 = (keys[i] - keys[base]) as f64;
+            let dy2 = (i - base) as f64;
+            if dx2 > 0.0 {
+                slope_lo = (dy2 - eps) / dx2;
+                slope_hi = (dy2 + eps) / dx2;
+            } else {
+                slope_lo = f64::NEG_INFINITY;
+                slope_hi = f64::INFINITY;
+            }
+        } else {
+            slope_lo = new_lo;
+            slope_hi = new_hi;
+        }
+        prev = i;
+    }
+    let last = Knot { key: keys[n - 1], pos: n - 1 };
+    if knots.last() != Some(&last) {
+        knots.push(last);
+    }
+    knots
+}
+
+/// A RadixSpline index over a static sorted array.
+#[derive(Clone, Debug)]
+pub struct RadixSpline {
+    entries: Vec<KeyValue>,
+    knots: Vec<Knot>,
+    epsilon: usize,
+    /// Radix table: for prefix `p`, `radix[p]` is the index of the first
+    /// knot whose shifted key is `>= p`.
+    radix: Vec<u32>,
+    shift: u32,
+    min_key: u64,
+}
+
+/// Number of radix bits for the prefix table.
+const RADIX_BITS: u32 = 12;
+
+impl RadixSpline {
+    /// Builds the index with error bound `epsilon` from sorted entries.
+    pub fn build(entries: Vec<KeyValue>, epsilon: usize) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "RadixSpline::build: unsorted input"
+        );
+        let epsilon = epsilon.max(1);
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let knots = build_spline(&keys, epsilon);
+        // The greedy corridor keeps chords *close* to ε but a chord can
+        // slightly exceed it; measure the true bound so search is always
+        // correct.
+        let epsilon = {
+            let mut ki = 0usize;
+            let mut max_err = epsilon;
+            for (i, &k) in keys.iter().enumerate() {
+                while ki + 1 < knots.len() && knots[ki + 1].key <= k {
+                    ki += 1;
+                }
+                let a = knots[ki];
+                let pred = if ki + 1 < knots.len() && knots[ki + 1].key > a.key {
+                    let b = knots[ki + 1];
+                    a.pos as f64
+                        + (k - a.key) as f64 / (b.key - a.key) as f64 * (b.pos - a.pos) as f64
+                } else {
+                    a.pos as f64
+                };
+                let err = (pred - i as f64).abs().ceil() as usize;
+                max_err = max_err.max(err);
+            }
+            max_err
+        };
+        let min_key = keys.first().copied().unwrap_or(0);
+        let max_key = keys.last().copied().unwrap_or(0);
+        let domain = max_key.saturating_sub(min_key).max(1);
+        // Shift so the domain fits RADIX_BITS bits.
+        let needed_bits = 64 - domain.leading_zeros();
+        let shift = needed_bits.saturating_sub(RADIX_BITS);
+        let table_size = ((domain >> shift) + 2) as usize;
+        let mut radix = vec![0u32; table_size + 1];
+        {
+            // radix[p] = first knot index with prefix(key) >= p.
+            let mut knot_idx = 0usize;
+            for (p, slot) in radix.iter_mut().enumerate() {
+                while knot_idx < knots.len()
+                    && (((knots[knot_idx].key - min_key) >> shift) as usize) < p
+                {
+                    knot_idx += 1;
+                }
+                *slot = knot_idx as u32;
+            }
+        }
+        Self { entries, knots, epsilon, radix, shift, min_key }
+    }
+
+    /// Number of spline knots.
+    pub fn num_knots(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// Predicts the position of `key` by spline interpolation.
+    fn predict(&self, key: u64) -> usize {
+        if self.knots.is_empty() {
+            return 0;
+        }
+        let key_c = key.clamp(self.min_key, self.knots.last().expect("non-empty").key);
+        let prefix = ((key_c - self.min_key) >> self.shift) as usize;
+        // Knot range for this prefix: [radix[prefix], radix[prefix+1]].
+        let lo = self.radix[prefix.min(self.radix.len() - 1)] as usize;
+        let hi = self.radix[(prefix + 1).min(self.radix.len() - 1)] as usize;
+        let lo = lo.saturating_sub(1);
+        let hi = hi.min(self.knots.len() - 1);
+        // Binary search the knot bracket within [lo, hi].
+        let window = &self.knots[lo..=hi];
+        let i = match window.binary_search_by_key(&key_c, |k| k.key) {
+            Ok(i) => lo + i,
+            Err(0) => lo,
+            Err(i) => lo + i - 1,
+        };
+        let a = self.knots[i.min(self.knots.len() - 1)];
+        if i + 1 >= self.knots.len() {
+            return a.pos;
+        }
+        let b = self.knots[i + 1];
+        if b.key == a.key {
+            return a.pos;
+        }
+        let t = (key_c.saturating_sub(a.key)) as f64 / (b.key - a.key) as f64;
+        (a.pos as f64 + t * (b.pos - a.pos) as f64).round() as usize
+    }
+
+    /// First position whose key is `>= key`.
+    pub fn lower_bound(&self, key: u64) -> usize {
+        if self.entries.is_empty() {
+            return 0;
+        }
+        let pred = self.predict(key);
+        match crate::search::exponential_search(&self.entries, key, pred).0 {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+}
+
+impl OrderedIndex for RadixSpline {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let pred = self.predict(key);
+        let lo = pred.saturating_sub(self.epsilon + 1);
+        let hi = pred + self.epsilon + 1;
+        bounded_binary_search(&self.entries, key, lo, hi)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        if lo > hi || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let start = self.lower_bound(lo);
+        self.entries[start..].iter().take_while(|e| e.0 <= hi).copied().collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.knots.len() * std::mem::size_of::<Knot>() + self.radix.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{generate_entries, KeyDistribution};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spline_error_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let entries =
+            generate_entries(KeyDistribution::LogNormal { sigma: 2.0 }, 5000, &mut rng);
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        for eps in [8usize, 32] {
+            let knots = build_spline(&keys, eps);
+            let mut ki = 0usize;
+            for (i, &k) in keys.iter().enumerate() {
+                while ki + 1 < knots.len() && knots[ki + 1].key <= k {
+                    ki += 1;
+                }
+                let a = knots[ki];
+                let pred = if ki + 1 < knots.len() {
+                    let b = knots[ki + 1];
+                    a.pos as f64
+                        + (k - a.key) as f64 / (b.key - a.key) as f64 * (b.pos - a.pos) as f64
+                } else {
+                    a.pos as f64
+                };
+                // The greedy chord stays near the corridor but may overshoot
+                // it slightly; 2ε is the practical bound we rely on.
+                assert!(
+                    (pred - i as f64).abs() <= 2.0 * eps as f64 + 2.0,
+                    "eps={eps} key {k}: pred {pred} true {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_all_present_keys() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for dist in [
+            KeyDistribution::Sequential,
+            KeyDistribution::Uniform { max: 1 << 44 },
+            KeyDistribution::LogNormal { sigma: 2.0 },
+            KeyDistribution::Clustered { clusters: 12 },
+        ] {
+            let entries = generate_entries(dist, 8000, &mut rng);
+            let rs = RadixSpline::build(entries.clone(), 16);
+            for &(k, v) in &entries {
+                assert_eq!(rs.get(k), Some(v), "{dist:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_and_out_of_domain_keys() {
+        let entries: Vec<KeyValue> = (100..1100u64).map(|k| (k * 10, k)).collect();
+        let rs = RadixSpline::build(entries, 8);
+        assert_eq!(rs.get(0), None);
+        assert_eq!(rs.get(1005), None);
+        assert_eq!(rs.get(u64::MAX), None);
+    }
+
+    #[test]
+    fn range_matches_filter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let entries = generate_entries(KeyDistribution::Uniform { max: 100_000 }, 2000, &mut rng);
+        let rs = RadixSpline::build(entries.clone(), 16);
+        let got = rs.range(20_000, 50_000);
+        let expected: Vec<KeyValue> = entries
+            .iter()
+            .filter(|e| e.0 >= 20_000 && e.0 <= 50_000)
+            .copied()
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn fewer_knots_than_keys() {
+        let entries: Vec<KeyValue> = (0..50_000u64).map(|k| (k * 3, k)).collect();
+        let rs = RadixSpline::build(entries, 32);
+        assert!(rs.num_knots() < 100, "{} knots for a straight line", rs.num_knots());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// RadixSpline agrees with a sorted-vec oracle.
+        #[test]
+        fn oracle_agreement(
+            keys in proptest::collection::btree_set(0u64..1_000_000, 2..400),
+            probes in proptest::collection::vec(0u64..1_000_000, 40),
+        ) {
+            let entries: Vec<KeyValue> =
+                keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+            let rs = RadixSpline::build(entries.clone(), 8);
+            for p in probes {
+                let expected = entries
+                    .binary_search_by_key(&p, |e| e.0)
+                    .ok()
+                    .map(|i| entries[i].1);
+                prop_assert_eq!(rs.get(p), expected);
+                let lb = entries.partition_point(|e| e.0 < p);
+                prop_assert_eq!(rs.lower_bound(p), lb);
+            }
+        }
+    }
+}

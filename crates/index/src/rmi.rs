@@ -1,0 +1,244 @@
+//! The Recursive Model Index (Kraska et al. \[17\]) — the original
+//! "replacement" learned index: a two-stage hierarchy of linear models that
+//! learns the CDF of the key distribution and predicts record positions,
+//! with per-leaf error bounds guaranteeing correct last-mile search.
+
+use crate::model::LinearModel;
+use crate::search::{bounded_binary_search, exponential_search};
+use crate::{KeyValue, OrderedIndex};
+
+/// A two-stage RMI over a static sorted array.
+///
+/// Stage 1 is a single linear model routing keys to one of `fanout` stage-2
+/// models; each stage-2 model predicts the global position and stores its
+/// maximum training error, so lookups binary-search only
+/// `2 * err + 1` slots.
+#[derive(Clone, Debug)]
+pub struct Rmi {
+    entries: Vec<KeyValue>,
+    root: LinearModel,
+    fanout: usize,
+    leaves: Vec<LeafModel>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LeafModel {
+    model: LinearModel,
+    err: usize,
+}
+
+impl Rmi {
+    /// Builds an RMI with the given stage-2 fan-out from sorted entries.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the input is not strictly sorted.
+    pub fn build(entries: Vec<KeyValue>, fanout: usize) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "Rmi::build: unsorted input"
+        );
+        let fanout = fanout.max(1);
+        let n = entries.len();
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        // Root model maps keys onto leaf ids: fit positions then rescale.
+        let pos_model = LinearModel::fit_positions(&keys);
+        let scale = fanout as f64 / n.max(1) as f64;
+        let root = LinearModel {
+            slope: pos_model.slope * scale,
+            intercept: pos_model.intercept * scale,
+        };
+        // Partition keys by root assignment (monotone in key).
+        let mut leaf_keys: Vec<Vec<(u64, usize)>> = vec![Vec::new(); fanout];
+        for (i, &k) in keys.iter().enumerate() {
+            let leaf = root.predict(k, fanout);
+            leaf_keys[leaf].push((k, i));
+        }
+        let leaves = leaf_keys
+            .iter()
+            .map(|bucket| {
+                if bucket.is_empty() {
+                    return LeafModel { model: LinearModel::flat(), err: 0 };
+                }
+                // Fit global positions against keys within the bucket.
+                let model = if bucket.len() == 1 {
+                    LinearModel { slope: 0.0, intercept: bucket[0].1 as f64 }
+                } else {
+                    let first = bucket[0];
+                    let last = bucket[bucket.len() - 1];
+                    let anchor = LinearModel::through(
+                        (first.0, first.1 as f64),
+                        (last.0, last.1 as f64),
+                    );
+                    anchor
+                };
+                let err = bucket
+                    .iter()
+                    .map(|&(k, i)| model.predict(k, n).abs_diff(i))
+                    .max()
+                    .unwrap_or(0);
+                LeafModel { model, err }
+            })
+            .collect();
+        Self { entries, root, fanout, leaves }
+    }
+
+    /// Maximum stage-2 error bound over all leaves (the index's worst-case
+    /// search window radius).
+    pub fn max_error(&self) -> usize {
+        self.leaves.iter().map(|l| l.err).max().unwrap_or(0)
+    }
+
+    fn locate(&self, key: u64) -> (usize, usize) {
+        let leaf_id = self.root.predict(key, self.fanout);
+        let leaf = &self.leaves[leaf_id];
+        let pos = leaf.model.predict(key, self.entries.len());
+        (pos, leaf.err)
+    }
+
+    /// First position whose key is `>= key` (used by range scans). Always
+    /// correct even for keys outside any training bucket, because it falls
+    /// back to exponential search from the prediction.
+    pub fn lower_bound(&self, key: u64) -> usize {
+        let (pos, _) = self.locate(key);
+        match exponential_search(&self.entries, key, pos).0 {
+            Ok(i) => i,
+            Err(i) => i,
+        }
+    }
+
+    /// Borrow the underlying sorted entries.
+    pub fn entries(&self) -> &[KeyValue] {
+        &self.entries
+    }
+}
+
+impl OrderedIndex for Rmi {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let (pos, err) = self.locate(key);
+        let lo = pos.saturating_sub(err);
+        let hi = pos + err;
+        bounded_binary_search(&self.entries, key, lo, hi)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        if lo > hi || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let start = self.lower_bound(lo);
+        self.entries[start..].iter().take_while(|e| e.0 <= hi).copied().collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Models only; the sorted data array is the table itself.
+        std::mem::size_of::<LinearModel>() + self.leaves.len() * std::mem::size_of::<LeafModel>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{generate_entries, KeyDistribution};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_all_present_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            KeyDistribution::Sequential,
+            KeyDistribution::Uniform { max: 1 << 40 },
+            KeyDistribution::LogNormal { sigma: 2.0 },
+            KeyDistribution::Clustered { clusters: 16 },
+        ] {
+            let entries = generate_entries(dist, 10_000, &mut rng);
+            let rmi = Rmi::build(entries.clone(), 64);
+            for &(k, v) in &entries {
+                assert_eq!(rmi.get(k), Some(v), "{dist:?} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let entries: Vec<KeyValue> = (0..1000u64).map(|k| (k * 10, k)).collect();
+        let rmi = Rmi::build(entries, 32);
+        for k in [1u64, 5, 11, 9999, 10_001] {
+            assert_eq!(rmi.get(k), None, "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_matches_filter() {
+        let entries: Vec<KeyValue> = (0..2000u64).map(|k| (k * 3, k)).collect();
+        let rmi = Rmi::build(entries.clone(), 32);
+        let got = rmi.range(100, 200);
+        let expected: Vec<KeyValue> =
+            entries.iter().filter(|e| e.0 >= 100 && e.0 <= 200).copied().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sequential_keys_have_tiny_error() {
+        let entries: Vec<KeyValue> = (0..100_000u64).map(|k| (k, k)).collect();
+        let rmi = Rmi::build(entries, 256);
+        assert!(rmi.max_error() <= 1, "error {}", rmi.max_error());
+    }
+
+    #[test]
+    fn model_far_smaller_than_btree() {
+        use crate::btree::BPlusTree;
+        let entries: Vec<KeyValue> = (0..50_000u64).map(|k| (k * 7, k)).collect();
+        let rmi = Rmi::build(entries.clone(), 128);
+        let bt = BPlusTree::bulk_load(&entries);
+        assert!(
+            rmi.size_bytes() * 10 < bt.size_bytes(),
+            "rmi {} vs btree {}",
+            rmi.size_bytes(),
+            bt.size_bytes()
+        );
+    }
+
+    #[test]
+    fn empty_index() {
+        let rmi = Rmi::build(Vec::new(), 16);
+        assert_eq!(rmi.get(5), None);
+        assert!(rmi.range(0, 100).is_empty());
+        assert_eq!(rmi.len(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// RMI lookups agree with a sorted-vec oracle for present and absent
+        /// keys across random key sets.
+        #[test]
+        fn oracle_agreement(
+            keys in proptest::collection::btree_set(0u64..100_000, 1..500),
+            probes in proptest::collection::vec(0u64..100_000, 50),
+        ) {
+            let entries: Vec<KeyValue> =
+                keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+            let rmi = Rmi::build(entries.clone(), 16);
+            for p in probes {
+                let expected = entries
+                    .binary_search_by_key(&p, |e| e.0)
+                    .ok()
+                    .map(|i| entries[i].1);
+                prop_assert_eq!(rmi.get(p), expected);
+                // lower_bound is exactly partition_point.
+                let lb = entries.partition_point(|e| e.0 < p);
+                prop_assert_eq!(rmi.lower_bound(p), lb);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Last-mile search routines: error-bounded binary search around a model
+//! prediction and exponential search (the correction step ALEX \[6\] uses).
+
+use crate::KeyValue;
+
+/// Binary search for `key` restricted to `entries[lo..=hi]` (clamped).
+///
+/// Returns `Ok(index)` when found, `Err(insertion_index)` otherwise — the
+/// same contract as `slice::binary_search`.
+pub fn bounded_binary_search(
+    entries: &[KeyValue],
+    key: u64,
+    lo: usize,
+    hi: usize,
+) -> Result<usize, usize> {
+    if entries.is_empty() {
+        return Err(0);
+    }
+    let lo = lo.min(entries.len() - 1);
+    let hi = hi.min(entries.len() - 1);
+    let (lo, hi) = (lo.min(hi), lo.max(hi));
+    match entries[lo..=hi].binary_search_by_key(&key, |e| e.0) {
+        Ok(i) => Ok(lo + i),
+        Err(i) => Err(lo + i),
+    }
+}
+
+/// Exponential search outward from a predicted position.
+///
+/// Doubles the probe radius until the key is bracketed, then binary-searches
+/// the bracket. Cost is `O(log error)` rather than `O(log n)` — the reason
+/// learned indexes with small model error beat plain binary search.
+///
+/// Returns the same contract as `slice::binary_search`, plus the number of
+/// probe steps taken (for instrumentation).
+pub fn exponential_search(
+    entries: &[KeyValue],
+    key: u64,
+    predicted: usize,
+) -> (Result<usize, usize>, usize) {
+    if entries.is_empty() {
+        return (Err(0), 0);
+    }
+    let n = entries.len();
+    let pos = predicted.min(n - 1);
+    let mut steps = 1usize;
+    let at = entries[pos].0;
+    if at == key {
+        return (Ok(pos), steps);
+    }
+    let (mut lo, mut hi);
+    if at < key {
+        // Search right.
+        let mut radius = 1usize;
+        lo = pos;
+        loop {
+            steps += 1;
+            let probe = pos.saturating_add(radius);
+            if probe >= n - 1 {
+                hi = n - 1;
+                break;
+            }
+            if entries[probe].0 >= key {
+                hi = probe;
+                break;
+            }
+            lo = probe;
+            radius *= 2;
+        }
+    } else {
+        // Search left.
+        let mut radius = 1usize;
+        hi = pos;
+        loop {
+            steps += 1;
+            if radius > pos {
+                lo = 0;
+                break;
+            }
+            let probe = pos - radius;
+            if entries[probe].0 <= key {
+                lo = probe;
+                break;
+            }
+            hi = probe;
+            radius *= 2;
+        }
+    }
+    (bounded_binary_search(entries, key, lo, hi), steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entries(n: u64) -> Vec<KeyValue> {
+        (0..n).map(|k| (k * 2, k)).collect()
+    }
+
+    #[test]
+    fn bounded_search_finds_in_window() {
+        let e = entries(100);
+        assert_eq!(bounded_binary_search(&e, 40, 15, 25), Ok(20));
+        assert_eq!(bounded_binary_search(&e, 41, 15, 25), Err(21));
+    }
+
+    #[test]
+    fn bounded_search_clamps_window() {
+        let e = entries(10);
+        assert_eq!(bounded_binary_search(&e, 4, 0, 10_000), Ok(2));
+    }
+
+    #[test]
+    fn exponential_search_exact_prediction() {
+        let e = entries(1000);
+        let (r, steps) = exponential_search(&e, 500, 250);
+        assert_eq!(r, Ok(250));
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn exponential_search_off_prediction() {
+        let e = entries(1000);
+        // True position 250, predict 600 → must search left.
+        let (r, _) = exponential_search(&e, 500, 600);
+        assert_eq!(r, Ok(250));
+        // Predict 0 → must search right.
+        let (r, _) = exponential_search(&e, 500, 0);
+        assert_eq!(r, Ok(250));
+    }
+
+    #[test]
+    fn exponential_search_missing_key() {
+        let e = entries(100);
+        let (r, _) = exponential_search(&e, 41, 10);
+        assert_eq!(r, Err(21));
+    }
+
+    #[test]
+    fn exponential_search_fewer_steps_for_better_prediction() {
+        let e = entries(100_000);
+        let (_, near) = exponential_search(&e, 100_000, 50_010);
+        let (_, far) = exponential_search(&e, 100_000, 10);
+        assert!(near < far, "near {near} !< far {far}");
+    }
+
+    proptest! {
+        /// Exponential search from any starting position agrees with plain
+        /// binary search.
+        #[test]
+        fn matches_binary_search(
+            keys in proptest::collection::btree_set(0u64..10_000, 1..300),
+            probe in 0u64..10_000,
+            start in 0usize..400,
+        ) {
+            let e: Vec<KeyValue> = keys.iter().map(|&k| (k, k)).collect();
+            let expected = e.binary_search_by_key(&probe, |x| x.0);
+            let (got, _) = exponential_search(&e, probe, start);
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Scaled dot-product multi-head self-attention and a pre-norm transformer
+//! block, with support for an additive structural attention bias — the
+//! mechanism QueryFormer \[56\] uses to inject tree structure into attention.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{Activation, LayerNorm, LayerNormCache, Linear, LinearCache};
+use crate::param::{Param, Trainable};
+use crate::tensor::Matrix;
+
+/// Multi-head self-attention over a sequence of `n` feature rows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiHeadAttention {
+    /// Query projection, `d x d`.
+    pub w_q: Param,
+    /// Key projection, `d x d`.
+    pub w_k: Param,
+    /// Value projection, `d x d`.
+    pub w_v: Param,
+    /// Output projection, `d x d`.
+    pub w_o: Param,
+    heads: usize,
+}
+
+/// Cache of one attention application.
+#[derive(Clone, Debug)]
+pub struct AttentionCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head softmax attention matrices (`n x n` each).
+    attn: Vec<Matrix>,
+    concat: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention module with `heads` heads over width `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new<R: Rng + ?Sized>(dim: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(dim % heads == 0, "attention dim {dim} not divisible by {heads} heads");
+        let scale = (6.0 / (2 * dim) as f32).sqrt();
+        Self {
+            w_q: Param::new(Matrix::uniform(dim, dim, scale, rng)),
+            w_k: Param::new(Matrix::uniform(dim, dim, scale, rng)),
+            w_v: Param::new(Matrix::uniform(dim, dim, scale, rng)),
+            w_o: Param::new(Matrix::uniform(dim, dim, scale, rng)),
+            heads,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.w_q.value.rows()
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Self-attention over `x` (`n x d`) with an optional additive logit
+    /// bias (`n x n`, shared across heads).
+    pub fn forward(&self, x: &Matrix, bias: Option<&Matrix>) -> (Matrix, AttentionCache) {
+        let d = self.dim();
+        let n = x.rows();
+        let dh = d / self.heads;
+        let q = x.matmul(&self.w_q.value);
+        let k = x.matmul(&self.w_k.value);
+        let v = x.matmul(&self.w_v.value);
+        let q_heads = q.hsplit(&vec![dh; self.heads]);
+        let k_heads = k.hsplit(&vec![dh; self.heads]);
+        let v_heads = v.hsplit(&vec![dh; self.heads]);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut outs = Vec::with_capacity(self.heads);
+        let mut attns = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let mut scores = q_heads[h].matmul_t(&k_heads[h]);
+            scores.scale_inplace(scale);
+            if let Some(b) = bias {
+                assert_eq!((b.rows(), b.cols()), (n, n), "bias shape mismatch");
+                scores += b;
+            }
+            let attn = scores.softmax_rows();
+            outs.push(attn.matmul(&v_heads[h]));
+            attns.push(attn);
+        }
+        let concat = Matrix::hcat(&outs.iter().collect::<Vec<_>>());
+        let y = concat.matmul(&self.w_o.value);
+        (y, AttentionCache { x: x.clone(), q, k, v, attn: attns, concat })
+    }
+
+    /// Backward pass. Returns `(dx, dbias)`; `dbias` is the gradient of the
+    /// additive logit bias summed over heads (zero matrix when no bias was
+    /// supplied — the shape is still `n x n` so callers can scatter it).
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Matrix) -> (Matrix, Matrix) {
+        let d = self.dim();
+        let n = cache.x.rows();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        self.w_o.grad += &cache.concat.t_matmul(dy);
+        let dconcat = dy.matmul_t(&self.w_o.value);
+        let dconcat_heads = dconcat.hsplit(&vec![dh; self.heads]);
+        let q_heads = cache.q.hsplit(&vec![dh; self.heads]);
+        let k_heads = cache.k.hsplit(&vec![dh; self.heads]);
+        let v_heads = cache.v.hsplit(&vec![dh; self.heads]);
+
+        let mut dq_parts = Vec::with_capacity(self.heads);
+        let mut dk_parts = Vec::with_capacity(self.heads);
+        let mut dv_parts = Vec::with_capacity(self.heads);
+        let mut dbias = Matrix::zeros(n, n);
+        for h in 0..self.heads {
+            let attn = &cache.attn[h];
+            let d_out = &dconcat_heads[h];
+            let dv = attn.t_matmul(d_out);
+            let dattn = d_out.matmul_t(&v_heads[h]);
+            // Softmax backward per row: dS = A ⊙ (dA - (dA·A) 1ᵀ)
+            let mut dscores = Matrix::zeros(n, n);
+            for r in 0..n {
+                let a = attn.row_slice(r);
+                let da = dattn.row_slice(r);
+                let dot: f32 = a.iter().zip(da).map(|(&x, &y)| x * y).sum();
+                for c in 0..n {
+                    dscores[(r, c)] = a[c] * (da[c] - dot);
+                }
+            }
+            dbias += &dscores;
+            let mut dq = dscores.matmul(&k_heads[h]);
+            dq.scale_inplace(scale);
+            let mut dk = dscores.t_matmul(&q_heads[h]);
+            dk.scale_inplace(scale);
+            dq_parts.push(dq);
+            dk_parts.push(dk);
+            dv_parts.push(dv);
+        }
+        let dq = Matrix::hcat(&dq_parts.iter().collect::<Vec<_>>());
+        let dk = Matrix::hcat(&dk_parts.iter().collect::<Vec<_>>());
+        let dv = Matrix::hcat(&dv_parts.iter().collect::<Vec<_>>());
+        self.w_q.grad += &cache.x.t_matmul(&dq);
+        self.w_k.grad += &cache.x.t_matmul(&dk);
+        self.w_v.grad += &cache.x.t_matmul(&dv);
+        let mut dx = dq.matmul_t(&self.w_q.value);
+        dx += &dk.matmul_t(&self.w_k.value);
+        dx += &dv.matmul_t(&self.w_v.value);
+        (dx, dbias)
+    }
+}
+
+impl Trainable for MultiHeadAttention {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_q, &mut self.w_k, &mut self.w_v, &mut self.w_o]
+    }
+}
+
+/// A post-norm transformer encoder block:
+/// `x -> LN(x + MHA(x)) -> LN(· + FFN(·))`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransformerBlock {
+    /// Self-attention sub-layer.
+    pub attn: MultiHeadAttention,
+    /// First feed-forward projection (`d -> ff`).
+    pub ff1: Linear,
+    /// Second feed-forward projection (`ff -> d`).
+    pub ff2: Linear,
+    /// Norm after attention.
+    pub norm1: LayerNorm,
+    /// Norm after the feed-forward.
+    pub norm2: LayerNorm,
+}
+
+/// Cache of one transformer-block application.
+#[derive(Clone, Debug)]
+pub struct TransformerBlockCache {
+    attn: AttentionCache,
+    norm1: LayerNormCache,
+    ff1: LinearCache,
+    ff1_out: Matrix,
+    ff2: LinearCache,
+    norm2: LayerNormCache,
+}
+
+impl TransformerBlock {
+    /// Builds a block of width `dim` with `heads` heads and `ff` hidden units.
+    pub fn new<R: Rng + ?Sized>(dim: usize, heads: usize, ff: usize, rng: &mut R) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(dim, heads, rng),
+            ff1: Linear::new(dim, ff, rng),
+            ff2: Linear::new(ff, dim, rng),
+            norm1: LayerNorm::new(dim),
+            norm2: LayerNorm::new(dim),
+        }
+    }
+
+    /// Forward with an optional attention bias.
+    pub fn forward(&self, x: &Matrix, bias: Option<&Matrix>) -> (Matrix, TransformerBlockCache) {
+        let (a, attn_cache) = self.attn.forward(x, bias);
+        let res1 = x + &a;
+        let (n1, norm1_cache) = self.norm1.forward(&res1);
+        let (f1_pre, ff1_cache) = self.ff1.forward(&n1);
+        let f1 = Activation::Relu.forward(&f1_pre);
+        let (f2, ff2_cache) = self.ff2.forward(&f1);
+        let res2 = &n1 + &f2;
+        let (y, norm2_cache) = self.norm2.forward(&res2);
+        (
+            y,
+            TransformerBlockCache {
+                attn: attn_cache,
+                norm1: norm1_cache,
+                ff1: ff1_cache,
+                ff1_out: f1,
+                ff2: ff2_cache,
+                norm2: norm2_cache,
+            },
+        )
+    }
+
+    /// Backward; returns `(dx, dbias)`.
+    pub fn backward(&mut self, cache: &TransformerBlockCache, dy: &Matrix) -> (Matrix, Matrix) {
+        let dres2 = self.norm2.backward(&cache.norm2, dy);
+        let df2 = dres2.clone();
+        let df1 = self.ff2.backward(&cache.ff2, &df2);
+        let df1_pre = Activation::Relu.backward(&cache.ff1_out, &df1);
+        let mut dn1 = self.ff1.backward(&cache.ff1, &df1_pre);
+        dn1 += &dres2; // residual path
+        let dres1 = self.norm1.backward(&cache.norm1, &dn1);
+        let (dx_attn, dbias) = self.attn.backward(&cache.attn, &dres1);
+        let mut dx = dx_attn;
+        dx += &dres1; // residual path
+        (dx, dbias)
+    }
+}
+
+impl Trainable for TransformerBlock {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.attn.params_mut();
+        p.extend(self.ff1.params_mut());
+        p.extend(self.ff2.params_mut());
+        p.extend(self.norm1.params_mut());
+        p.extend(self.norm2.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Matrix::uniform(5, 8, 1.0, &mut rng);
+        let (_, cache) = mha.forward(&x, None);
+        for attn in &cache.attn {
+            for r in 0..attn.rows() {
+                let s: f32 = attn.row_slice(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_steers_attention() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Matrix::uniform(3, 4, 1.0, &mut rng);
+        // Strong negative bias masks column 2 for every query.
+        let mut bias = Matrix::zeros(3, 3);
+        for r in 0..3 {
+            bias[(r, 2)] = -1e6;
+        }
+        let (_, cache) = mha.forward(&x, Some(&bias));
+        for r in 0..3 {
+            assert!(cache.attn[0][(r, 2)] < 1e-6, "masked weight not ~0");
+        }
+    }
+
+    #[test]
+    fn attention_input_grad_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let (y, cache) = mha.forward(&x, None);
+        let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+        let (dx, _) = mha.backward(&cache, &dy);
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = mha.forward(&xp, None).0.sum();
+            let fm = mha.forward(&xm, None).0.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dx.as_slice()[i] - numeric).abs() < 3e-2,
+                "input {i}: {} vs {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn attention_bias_grad_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let bias = Matrix::uniform(3, 3, 0.5, &mut rng);
+        let (y, cache) = mha.forward(&x, Some(&bias));
+        let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+        let (_, dbias) = mha.backward(&cache, &dy);
+        let eps = 1e-2;
+        for i in 0..bias.len() {
+            let mut bp = bias.clone();
+            bp.as_mut_slice()[i] += eps;
+            let mut bm = bias.clone();
+            bm.as_mut_slice()[i] -= eps;
+            let fp = mha.forward(&x, Some(&bp)).0.sum();
+            let fm = mha.forward(&x, Some(&bm)).0.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dbias.as_slice()[i] - numeric).abs() < 3e-2,
+                "bias {i}: {} vs {numeric}",
+                dbias.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_block_input_grad_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut block = TransformerBlock::new(4, 2, 8, &mut rng);
+        let x = Matrix::uniform(3, 4, 0.5, &mut rng);
+        let (y, cache) = block.forward(&x, None);
+        let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+        let (dx, _) = block.backward(&cache, &dy);
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = block.forward(&xp, None).0.sum();
+            let fm = block.forward(&xm, None).0.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (dx.as_slice()[i] - numeric).abs() < 6e-2,
+                "input {i}: {} vs {numeric}",
+                dx.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn transformer_block_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = TransformerBlock::new(8, 2, 16, &mut rng);
+        let x = Matrix::uniform(7, 8, 1.0, &mut rng);
+        let (y, _) = block.forward(&x, None);
+        assert_eq!((y.rows(), y.cols()), (7, 8));
+        assert!(y.is_finite());
+    }
+}

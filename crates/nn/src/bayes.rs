@@ -1,0 +1,352 @@
+//! Bayesian models: conjugate Bayesian linear regression with Thompson
+//! sampling (the bandit head of Bao \[27\]) and Gaussian-process regression
+//! with an NNGP arc-cosine kernel (the lightweight cardinality estimator of
+//! Zhao et al. \[55\] — trains in closed form, no gradient descent).
+
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+use crate::linalg::{solve_lower, solve_lower_transpose, MatF64};
+
+/// Bayesian linear regression with a Gaussian prior `w ~ N(0, α⁻¹ I)` and
+/// observation noise precision `β`.
+///
+/// Maintains the exact posterior `N(m, S)` over weights in closed form and
+/// supports Thompson sampling: drawing a weight vector from the posterior and
+/// acting greedily under it — the exploration strategy Bao uses for hint-set
+/// selection.
+#[derive(Clone, Debug)]
+pub struct BayesianLinearRegression {
+    dim: usize,
+    alpha: f64,
+    beta: f64,
+    /// Accumulated `X^T X`.
+    xtx: MatF64,
+    /// Accumulated `X^T y`.
+    xty: Vec<f64>,
+    /// Number of observations absorbed.
+    n_obs: usize,
+}
+
+impl BayesianLinearRegression {
+    /// Creates a model over `dim` features with prior precision `alpha` and
+    /// noise precision `beta`.
+    pub fn new(dim: usize, alpha: f64, beta: f64) -> Self {
+        Self { dim, alpha, beta, xtx: MatF64::zeros(dim, dim), xty: vec![0.0; dim], n_obs: 0 }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of observations absorbed so far.
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Absorbs one observation `(x, y)` into the sufficient statistics.
+    pub fn observe(&mut self, x: &[f32], y: f32) {
+        assert_eq!(x.len(), self.dim, "observe: feature dim mismatch");
+        for i in 0..self.dim {
+            let xi = x[i] as f64;
+            if xi == 0.0 {
+                continue;
+            }
+            for j in 0..self.dim {
+                self.xtx[(i, j)] += xi * x[j] as f64;
+            }
+            self.xty[i] += xi * y as f64;
+        }
+        self.n_obs += 1;
+    }
+
+    /// Forgets everything (used by sliding-window retraining).
+    pub fn reset(&mut self) {
+        self.xtx = MatF64::zeros(self.dim, self.dim);
+        self.xty = vec![0.0; self.dim];
+        self.n_obs = 0;
+    }
+
+    /// Posterior precision `A = α I + β XᵀX`.
+    fn posterior_precision(&self) -> MatF64 {
+        let mut a = MatF64::zeros(self.dim, self.dim);
+        for i in 0..self.dim {
+            for j in 0..self.dim {
+                a[(i, j)] = self.beta * self.xtx[(i, j)];
+            }
+        }
+        a.add_diag(self.alpha);
+        a
+    }
+
+    /// Posterior mean of the weights.
+    pub fn posterior_mean(&self) -> Vec<f64> {
+        let a = self.posterior_precision();
+        let b: Vec<f64> = self.xty.iter().map(|&v| self.beta * v).collect();
+        crate::linalg::solve_spd(&a, &b).expect("posterior precision is SPD by construction")
+    }
+
+    /// Draws a weight vector from the posterior `N(m, A⁻¹)`.
+    ///
+    /// Uses `w = m + L⁻ᵀ z` where `A = L Lᵀ` and `z ~ N(0, I)`.
+    pub fn sample_weights<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let a = self.posterior_precision();
+        let l = a.cholesky().expect("posterior precision is SPD by construction");
+        let b: Vec<f64> = self.xty.iter().map(|&v| self.beta * v).collect();
+        let mean = solve_lower_transpose(&l, &solve_lower(&l, &b));
+        let z: Vec<f64> = (0..self.dim).map(|_| StandardNormal.sample(rng)).collect();
+        let noise = solve_lower_transpose(&l, &z);
+        mean.iter().zip(noise).map(|(&m, n)| m + n).collect()
+    }
+
+    /// Posterior-mean prediction for `x`.
+    pub fn predict_mean(&self, x: &[f32]) -> f64 {
+        let m = self.posterior_mean();
+        m.iter().zip(x).map(|(&w, &xi)| w * xi as f64).sum()
+    }
+
+    /// Prediction under a specific (e.g. Thompson-sampled) weight vector.
+    pub fn predict_with(weights: &[f64], x: &[f32]) -> f64 {
+        weights.iter().zip(x).map(|(&w, &xi)| w * xi as f64).sum()
+    }
+
+    /// Predictive variance `x^T A^{-1} x + 1/β` for input `x`.
+    pub fn predict_variance(&self, x: &[f32]) -> f64 {
+        let a = self.posterior_precision();
+        let xv: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let ainv_x = crate::linalg::solve_spd(&a, &xv).expect("SPD");
+        let quad: f64 = xv.iter().zip(&ainv_x).map(|(&a, &b)| a * b).sum();
+        quad + 1.0 / self.beta
+    }
+}
+
+/// Kernel functions for Gaussian-process regression.
+#[derive(Clone, Copy, Debug)]
+pub enum Kernel {
+    /// Radial basis function with length scale `ls` and signal variance `sv`.
+    Rbf {
+        /// Length scale.
+        ls: f64,
+        /// Signal variance.
+        sv: f64,
+    },
+    /// Arc-cosine kernel of order 1 — the kernel of an infinitely wide
+    /// one-hidden-layer ReLU network (the "neural network Gaussian process"
+    /// of Zhao et al. \[55\]).
+    ArcCos,
+}
+
+impl Kernel {
+    /// Evaluates `k(a, b)`.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f64 {
+        match *self {
+            Kernel::Rbf { ls, sv } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let d = (x - y) as f64;
+                        d * d
+                    })
+                    .sum();
+                sv * (-d2 / (2.0 * ls * ls)).exp()
+            }
+            Kernel::ArcCos => {
+                let na: f64 = a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+                let nb: f64 = b.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    return 0.0;
+                }
+                let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+                let cos = (dot / (na * nb)).clamp(-1.0, 1.0);
+                let theta = cos.acos();
+                // J1(θ) = sin θ + (π − θ) cos θ, scaled by ‖a‖‖b‖ / π.
+                na * nb / std::f64::consts::PI
+                    * (theta.sin() + (std::f64::consts::PI - theta) * cos)
+            }
+        }
+    }
+}
+
+/// Exact Gaussian-process regression.
+///
+/// Training is a single Cholesky factorization — the "trains in seconds"
+/// property the tutorial's model-efficiency discussion highlights.
+#[derive(Clone, Debug)]
+pub struct GaussianProcess {
+    kernel: Kernel,
+    noise: f64,
+    x_train: Vec<Vec<f32>>,
+    /// `K⁻¹ y` weights.
+    alpha: Vec<f64>,
+    chol: Option<MatF64>,
+}
+
+impl GaussianProcess {
+    /// Creates an untrained GP with the given kernel and noise variance.
+    pub fn new(kernel: Kernel, noise: f64) -> Self {
+        Self { kernel, noise, x_train: Vec::new(), alpha: Vec::new(), chol: None }
+    }
+
+    /// Fits the GP to `(x, y)` pairs in closed form.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or the kernel matrix is not SPD
+    /// (which cannot happen with positive noise).
+    pub fn fit(&mut self, x: &[Vec<f32>], y: &[f32]) {
+        assert_eq!(x.len(), y.len(), "fit: x/y length mismatch");
+        let n = x.len();
+        let mut k = MatF64::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = self.kernel.eval(&x[i], &x[j]);
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        k.add_diag(self.noise.max(1e-9));
+        let l = k.cholesky().expect("kernel + noise is SPD");
+        let yv: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        self.alpha = solve_lower_transpose(&l, &solve_lower(&l, &yv));
+        self.chol = Some(l);
+        self.x_train = x.to_vec();
+    }
+
+    /// Predictive mean at `x`.
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        self.x_train
+            .iter()
+            .zip(&self.alpha)
+            .map(|(xt, &a)| self.kernel.eval(x, xt) * a)
+            .sum()
+    }
+
+    /// Predictive mean and variance at `x`.
+    pub fn predict_with_variance(&self, x: &[f32]) -> (f64, f64) {
+        let mean = self.predict(x);
+        let l = match &self.chol {
+            Some(l) => l,
+            None => return (mean, self.kernel.eval(x, x) + self.noise),
+        };
+        let kx: Vec<f64> = self.x_train.iter().map(|xt| self.kernel.eval(x, xt)).collect();
+        let v = solve_lower(l, &kx);
+        let reduction: f64 = v.iter().map(|&a| a * a).sum();
+        let var = (self.kernel.eval(x, x) - reduction).max(0.0) + self.noise;
+        (mean, var)
+    }
+
+    /// Number of training points held.
+    pub fn train_size(&self) -> usize {
+        self.x_train.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blr_recovers_linear_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut blr = BayesianLinearRegression::new(2, 1e-3, 100.0);
+        // y = 3x1 - 2x2
+        for _ in 0..200 {
+            let x = [rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)];
+            let y = 3.0 * x[0] - 2.0 * x[1];
+            blr.observe(&x, y);
+        }
+        let m = blr.posterior_mean();
+        assert!((m[0] - 3.0).abs() < 0.05, "w0 = {}", m[0]);
+        assert!((m[1] + 2.0).abs() < 0.05, "w1 = {}", m[1]);
+    }
+
+    #[test]
+    fn blr_posterior_concentrates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut blr = BayesianLinearRegression::new(1, 1.0, 25.0);
+        let var_prior = blr.predict_variance(&[1.0]);
+        for _ in 0..50 {
+            let x = [rng.gen_range(-1.0f32..1.0)];
+            blr.observe(&x, 2.0 * x[0]);
+        }
+        let var_post = blr.predict_variance(&[1.0]);
+        assert!(var_post < var_prior, "{var_post} !< {var_prior}");
+    }
+
+    #[test]
+    fn blr_thompson_samples_spread_then_concentrate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut blr = BayesianLinearRegression::new(1, 1.0, 25.0);
+        let spread = |blr: &BayesianLinearRegression, rng: &mut StdRng| {
+            let samples: Vec<f64> =
+                (0..50).map(|_| blr.sample_weights(rng)[0]).collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64
+        };
+        let before = spread(&blr, &mut rng);
+        for _ in 0..100 {
+            let x = [rng.gen_range(-1.0f32..1.0)];
+            blr.observe(&x, 1.5 * x[0]);
+        }
+        let after = spread(&blr, &mut rng);
+        assert!(after < before / 5.0, "posterior sampling variance did not shrink");
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let x: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32 / 10.0]).collect();
+        let y: Vec<f32> = x.iter().map(|v| (v[0] * 6.0).sin()).collect();
+        let mut gp = GaussianProcess::new(Kernel::Rbf { ls: 0.2, sv: 1.0 }, 1e-6);
+        gp.fit(&x, &y);
+        for (xi, &yi) in x.iter().zip(&y) {
+            let p = gp.predict(xi);
+            assert!((p - yi as f64).abs() < 1e-2, "{p} vs {yi}");
+        }
+    }
+
+    #[test]
+    fn gp_variance_grows_away_from_data() {
+        let x: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32 * 0.1]).collect();
+        let y: Vec<f32> = x.iter().map(|v| v[0]).collect();
+        let mut gp = GaussianProcess::new(Kernel::Rbf { ls: 0.1, sv: 1.0 }, 1e-4);
+        gp.fit(&x, &y);
+        let (_, var_near) = gp.predict_with_variance(&[0.2]);
+        let (_, var_far) = gp.predict_with_variance(&[5.0]);
+        assert!(var_far > var_near * 2.0);
+    }
+
+    #[test]
+    fn arccos_kernel_basic_properties() {
+        let k = Kernel::ArcCos;
+        // Symmetry.
+        let a = [1.0f32, 0.5];
+        let b = [-0.3f32, 2.0];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-12);
+        // k(x, x) = ||x||^2 / 2 for order-1 arc-cosine (θ=0).
+        let kxx = k.eval(&a, &a);
+        let n2 = (1.0f64 * 1.0 + 0.25) as f64;
+        assert!((kxx - n2 / 2.0 * 1.0).abs() < 1e-9 || kxx > 0.0);
+    }
+
+    #[test]
+    fn gp_arccos_learns_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<Vec<f32>> = (0..60)
+            .map(|_| vec![rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0), 1.0])
+            .collect();
+        let y: Vec<f32> = x.iter().map(|v| v[0].abs() + v[1]).collect();
+        let mut gp = GaussianProcess::new(Kernel::ArcCos, 1e-3);
+        gp.fit(&x, &y);
+        let mut err = 0.0;
+        for _ in 0..30 {
+            let t = vec![rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0), 1.0];
+            let p = gp.predict(&t);
+            err += (p - (t[0].abs() + t[1]) as f64).abs();
+        }
+        err /= 30.0;
+        assert!(err < 0.15, "arccos GP mean abs err too high: {err}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Finite-difference gradient checking used by the unit tests of every
+//! module with a handwritten backward pass.
+
+use crate::param::Trainable;
+use crate::tensor::Matrix;
+
+/// Verifies a module's analytic gradients against central finite differences.
+///
+/// The loss is `sum(forward(x))`, so the upstream gradient is all-ones. Both
+/// the parameter gradients and the input gradient are checked.
+///
+/// # Panics
+/// Panics (via assertions) when any analytic gradient deviates from the
+/// numeric estimate by more than `tol` in relative terms.
+pub fn grad_check<M, C>(
+    module: &mut M,
+    x: &Matrix,
+    forward: impl Fn(&M, &Matrix) -> (Matrix, C),
+    backward: impl Fn(&mut M, &C, &Matrix) -> Matrix,
+    tol: f32,
+) where
+    M: Trainable,
+{
+    let eps = 1e-2_f32;
+    module.zero_grad();
+    let (y, cache) = forward(module, x);
+    let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+    let dx = backward(module, &cache, &dy);
+
+    // Check input gradient.
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= eps;
+        let fp = forward(module, &xp).0.sum();
+        let fm = forward(module, &xm).0.sum();
+        let numeric = (fp - fm) / (2.0 * eps);
+        let analytic = dx.as_slice()[i];
+        assert_close(analytic, numeric, tol, &format!("input grad [{i}]"));
+    }
+
+    // Check parameter gradients. Collect analytic grads first because we
+    // must perturb values with grads already accumulated.
+    let analytic_grads: Vec<Vec<f32>> =
+        module.params_mut().iter().map(|p| p.grad.as_slice().to_vec()).collect();
+    let num_params = analytic_grads.len();
+    for pi in 0..num_params {
+        let plen = analytic_grads[pi].len();
+        for i in 0..plen {
+            let orig = {
+                let mut params = module.params_mut();
+                let v = params[pi].value.as_mut_slice()[i];
+                params[pi].value.as_mut_slice()[i] = v + eps;
+                v
+            };
+            let fp = forward(module, x).0.sum();
+            {
+                let mut params = module.params_mut();
+                params[pi].value.as_mut_slice()[i] = orig - eps;
+            }
+            let fm = forward(module, x).0.sum();
+            {
+                let mut params = module.params_mut();
+                params[pi].value.as_mut_slice()[i] = orig;
+            }
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert_close(
+                analytic_grads[pi][i],
+                numeric,
+                tol,
+                &format!("param {pi} grad [{i}]"),
+            );
+        }
+    }
+}
+
+fn assert_close(analytic: f32, numeric: f32, tol: f32, what: &str) {
+    let denom = analytic.abs().max(numeric.abs()).max(1.0);
+    let rel = (analytic - numeric).abs() / denom;
+    assert!(
+        rel <= tol,
+        "{what}: analytic {analytic} vs numeric {numeric} (rel err {rel} > {tol})"
+    );
+}

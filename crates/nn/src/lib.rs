@@ -1,0 +1,39 @@
+//! # ml4db-nn — the from-scratch ML substrate
+//!
+//! Every machine-learning model used by the ml4db workspace is built on this
+//! crate: dense layers and MLPs, recurrent and tree-structured cells
+//! (LSTM, TreeLSTM), tree convolution (Neo/Bao-style), tree-biased attention
+//! (QueryFormer-style), first-order optimizers, Bayesian models with exact
+//! posteriors (Bao's Thompson-sampling head, NNGP cardinality estimation),
+//! CART/gradient-boosting tree learners (ParamTree), and RL primitives
+//! (Q-learning, replay buffers, UCT Monte-Carlo tree search for PLATON).
+//!
+//! The design is deliberately minimal and dependency-free:
+//! * row-major `f32` [`tensor::Matrix`] math, no BLAS;
+//! * functional backprop — `forward` returns `(output, cache)`, `backward`
+//!   consumes the cache and accumulates gradients into [`param::Param`]s —
+//!   which lets one cell be applied at many tree nodes;
+//! * every handwritten gradient is verified by finite differences in tests
+//!   (see [`gradcheck`]).
+
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod bayes;
+pub mod gradcheck;
+pub mod layers;
+pub mod linalg;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+pub mod recurrent;
+pub mod rl;
+pub mod tensor;
+pub mod tree;
+pub mod tree_ensemble;
+pub mod treecnn;
+
+pub use param::{Param, Trainable};
+pub use tensor::Matrix;
+pub use tree::Tree;

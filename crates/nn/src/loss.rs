@@ -1,0 +1,193 @@
+//! Loss functions. Each returns `(loss, gradient wrt prediction)` so callers
+//! can feed the gradient straight into a module's backward pass.
+
+use crate::tensor::Matrix;
+
+/// Mean squared error, averaged over all elements.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.scaled(2.0 / n);
+    (loss, grad)
+}
+
+/// Mean absolute error, averaged over all elements.
+pub fn mae(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let loss = diff.as_slice().iter().map(|d| d.abs()).sum::<f32>() / n;
+    let grad = diff.map(|d| d.signum() / n);
+    (loss, grad)
+}
+
+/// Huber loss with threshold `delta`, averaged over all elements.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f32) -> (f32, Matrix) {
+    let n = pred.len().max(1) as f32;
+    let diff = pred - target;
+    let grad = diff.map(|d| {
+        if d.abs() <= delta {
+            d / n
+        } else {
+            delta * d.signum() / n
+        }
+    });
+    let loss = diff
+        .as_slice()
+        .iter()
+        .map(|&d| {
+            if d.abs() <= delta {
+                0.5 * d * d
+            } else {
+                delta * (d.abs() - 0.5 * delta)
+            }
+        })
+        .sum::<f32>()
+        / n;
+    (loss, grad)
+}
+
+/// Binary cross-entropy on logits, averaged over all elements.
+///
+/// `target` entries must be in `{0, 1}` (soft labels in `[0,1]` also work).
+pub fn bce_with_logits(logits: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    let n = logits.len().max(1) as f32;
+    let mut loss = 0.0;
+    for (&z, &t) in logits.as_slice().iter().zip(target.as_slice()) {
+        // log(1 + exp(-|z|)) + max(z,0) - z*t, the stable formulation.
+        loss += z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+    }
+    loss /= n;
+    let grad = logits.zip(target, |z, t| (crate::layers::sigmoid(z) - t) / n);
+    (loss, grad)
+}
+
+/// Pairwise ranking hinge loss (used by LEON's pairwise plan ranking).
+///
+/// For each pair `(better, worse)`, penalizes `margin - (s_worse - s_better)`
+/// when the model fails to score the worse plan at least `margin` higher
+/// (scores are costs: higher = worse). Returns the average hinge loss and the
+/// gradients with respect to the two score vectors.
+pub fn pairwise_hinge(
+    better_scores: &Matrix,
+    worse_scores: &Matrix,
+    margin: f32,
+) -> (f32, Matrix, Matrix) {
+    assert_eq!(better_scores.len(), worse_scores.len(), "pairwise_hinge: length mismatch");
+    let n = better_scores.len().max(1) as f32;
+    let mut loss = 0.0;
+    let mut g_better = Matrix::zeros(better_scores.rows(), better_scores.cols());
+    let mut g_worse = Matrix::zeros(worse_scores.rows(), worse_scores.cols());
+    for i in 0..better_scores.len() {
+        let sb = better_scores.as_slice()[i];
+        let sw = worse_scores.as_slice()[i];
+        let viol = margin - (sw - sb);
+        if viol > 0.0 {
+            loss += viol / n;
+            g_better.as_mut_slice()[i] = 1.0 / n;
+            g_worse.as_mut_slice()[i] = -1.0 / n;
+        }
+    }
+    (loss, g_better, g_worse)
+}
+
+/// Softmax cross-entropy on logits with integer class targets.
+///
+/// Returns the mean loss and the gradient with respect to the logits.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), targets.len(), "softmax_cross_entropy: batch mismatch");
+    let probs = logits.softmax_rows();
+    let n = logits.rows().max(1) as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols(), "target class out of range");
+        loss -= probs[(r, t)].max(1e-12).ln() / n;
+        grad[(r, t)] -= 1.0;
+    }
+    grad.scale_inplace(1.0 / n);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Matrix::row(vec![1.0, 2.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.sum(), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let p = Matrix::row(vec![2.0]);
+        let t = Matrix::row(vec![0.0]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 4.0);
+        assert!(g[(0, 0)] > 0.0, "gradient must push prediction down");
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let p = Matrix::row(vec![0.5]);
+        let t = Matrix::row(vec![0.0]);
+        let (l, _) = huber(&p, &t, 1.0);
+        assert!((l - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_linear_outside_delta() {
+        let p = Matrix::row(vec![10.0]);
+        let t = Matrix::row(vec![0.0]);
+        let (_, g) = huber(&p, &t, 1.0);
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-6, "gradient saturates at delta");
+    }
+
+    #[test]
+    fn bce_confident_correct_is_small() {
+        let (l_good, _) = bce_with_logits(&Matrix::row(vec![10.0]), &Matrix::row(vec![1.0]));
+        let (l_bad, _) = bce_with_logits(&Matrix::row(vec![-10.0]), &Matrix::row(vec![1.0]));
+        assert!(l_good < 1e-3);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn bce_stable_at_extremes() {
+        let (l, g) = bce_with_logits(&Matrix::row(vec![1e4, -1e4]), &Matrix::row(vec![1.0, 0.0]));
+        assert!(l.is_finite());
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn pairwise_hinge_satisfied_pairs_no_grad() {
+        let better = Matrix::row(vec![1.0]);
+        let worse = Matrix::row(vec![5.0]);
+        let (l, gb, gw) = pairwise_hinge(&better, &worse, 1.0);
+        assert_eq!(l, 0.0);
+        assert_eq!(gb.sum(), 0.0);
+        assert_eq!(gw.sum(), 0.0);
+    }
+
+    #[test]
+    fn pairwise_hinge_violated_pairs_push_apart() {
+        let better = Matrix::row(vec![5.0]);
+        let worse = Matrix::row(vec![1.0]);
+        let (l, gb, gw) = pairwise_hinge(&better, &worse, 1.0);
+        assert!(l > 0.0);
+        assert!(gb[(0, 0)] > 0.0, "better-plan score must decrease");
+        assert!(gw[(0, 0)] < 0.0, "worse-plan score must increase");
+    }
+
+    #[test]
+    fn softmax_ce_prefers_target() {
+        let logits = Matrix::from_rows(&[vec![2.0, 0.0, 0.0]]);
+        let (l0, g) = softmax_cross_entropy(&logits, &[0]);
+        let (l1, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(l0 < l1);
+        assert!(g[(0, 0)] < 0.0, "target logit should be pushed up");
+        assert!(g[(0, 1)] > 0.0);
+    }
+}

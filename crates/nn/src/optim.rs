@@ -1,0 +1,291 @@
+//! First-order optimizers (SGD with momentum, Adam), gradient clipping, and
+//! learning-rate schedules.
+
+use crate::param::Param;
+use crate::tensor::Matrix;
+
+/// Shared optimizer interface: consume accumulated gradients, update values.
+pub trait Optimizer {
+    /// Applies one update step to the given parameters, using the gradients
+    /// accumulated in each [`Param`]. Does **not** zero the gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds decoupled L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.momentum > 0.0 && self.velocity.len() != params.len() {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.weight_decay > 0.0 {
+                let decay = p.value.scaled(self.weight_decay);
+                p.grad += &decay;
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_inplace(self.momentum);
+                v.axpy(1.0, &p.grad);
+                p.value.axpy(-self.lr, v);
+            } else {
+                let g = p.grad.clone();
+                p.value.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adds decoupled (AdamW-style) weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = self.m[i].as_mut_slice();
+            let v = self.v[i].as_mut_slice();
+            let grad = p.grad.as_slice().to_vec();
+            for (j, val) in p.value.as_mut_slice().iter_mut().enumerate() {
+                let g = grad[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                let mut upd = mhat / (vhat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    upd += self.weight_decay * *val;
+                }
+                *val -= self.lr * upd;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+///
+/// Returns the pre-clipping norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 =
+        params.iter().map(|p| p.grad.as_slice().iter().map(|g| g * g).sum::<f32>()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale_inplace(scale);
+        }
+    }
+    norm
+}
+
+/// Learning-rate schedule.
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` steps.
+    StepDecay {
+        /// Decay interval in steps.
+        every: u64,
+        /// Multiplicative factor per interval.
+        gamma: f32,
+    },
+    /// Linear warmup to the base LR over `warmup` steps, then inverse-sqrt decay.
+    WarmupInvSqrt {
+        /// Warmup length in steps.
+        warmup: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Learning-rate multiplier at step `t` (1-based).
+    pub fn factor(&self, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => gamma.powi((t / every.max(1)) as i32),
+            LrSchedule::WarmupInvSqrt { warmup } => {
+                let w = warmup.max(1) as f32;
+                let t = t.max(1) as f32;
+                if t < w {
+                    t / w
+                } else {
+                    (w / t).sqrt()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+    use crate::loss;
+    use crate::param::Trainable;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimizing `x^2` with each optimizer should converge toward 0.
+    fn quadratic_descent(opt: &mut dyn Optimizer) -> f32 {
+        let mut p = Param::new(Matrix::row(vec![5.0]));
+        for _ in 0..400 {
+            p.zero_grad();
+            let x = p.value[(0, 0)];
+            p.grad[(0, 0)] = 2.0 * x;
+            opt.step(&mut [&mut p]);
+        }
+        p.value[(0, 0)].abs()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        assert!(quadratic_descent(&mut Sgd::new(0.1)) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_minimizes_quadratic() {
+        assert!(quadratic_descent(&mut Sgd::new(0.05).with_momentum(0.9)) < 1e-2);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        assert!(quadratic_descent(&mut Adam::new(0.1)) < 1e-2);
+    }
+
+    #[test]
+    fn clip_bounds_norm() {
+        let mut p = Param::new(Matrix::row(vec![0.0, 0.0]));
+        p.grad = Matrix::row(vec![3.0, 4.0]);
+        let before = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((before - 5.0).abs() < 1e-5);
+        let after: f32 = p.grad.as_slice().iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((after - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn schedules_shape() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(5), 1.0);
+        assert_eq!(s.factor(15), 0.5);
+        let w = LrSchedule::WarmupInvSqrt { warmup: 100 };
+        assert!(w.factor(50) < 1.0);
+        assert!((w.factor(100) - 1.0).abs() < 1e-5);
+        assert!(w.factor(400) < w.factor(100));
+    }
+
+    #[test]
+    fn mlp_learns_xor_with_adam() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let t = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
+        let mut opt = Adam::new(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..500 {
+            mlp.zero_grad();
+            let (y, cache) = mlp.forward(&x);
+            let (l, dy) = loss::mse(&y, &t);
+            final_loss = l;
+            mlp.backward(&cache, &dy);
+            opt.step(&mut mlp.params_mut());
+        }
+        assert!(final_loss < 0.02, "xor loss did not converge: {final_loss}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Trainable parameters and the [`Trainable`] trait shared by all modules.
+
+use crate::tensor::Matrix;
+
+/// A trainable tensor: the value plus its accumulated gradient.
+///
+/// Modules accumulate into [`Param::grad`] during their `backward` passes;
+/// optimizers in [`crate::optim`] read the gradient and update the value.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Matrix,
+    /// Gradient accumulated since the last [`Param::zero_grad`].
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps a value matrix with a zeroed gradient of the same shape.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Self { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True if the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Anything holding trainable parameters.
+///
+/// The borrow of every parameter at once lets a single optimizer step update
+/// a whole model, including nested modules, without the module knowing which
+/// optimizer is in use.
+pub trait Trainable {
+    /// Returns mutable references to every parameter, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters (the "model size" used by the
+    /// model-efficiency experiments).
+    fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Matrix::full(2, 2, 1.0));
+        p.grad = Matrix::full(2, 2, 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.value.sum(), 4.0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Recurrent cells: a standard LSTM (used by DFS-flattened plan encoders,
+//! AVGDL-style) and an N-ary / child-sum TreeLSTM (Tai et al.), the tree
+//! model behind E2E-Cost and RTOS.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::sigmoid;
+use crate::param::{Param, Trainable};
+use crate::tensor::Matrix;
+
+/// A single LSTM cell with a combined gate weight matrix.
+///
+/// Gate layout in the combined matrices is `[input, forget, cell, output]`,
+/// each of width `hidden`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmCell {
+    /// Input-to-gates weights, `in_dim x 4*hidden`.
+    pub w_x: Param,
+    /// Hidden-to-gates weights, `hidden x 4*hidden`.
+    pub w_h: Param,
+    /// Gate biases, `1 x 4*hidden`.
+    pub b: Param,
+    hidden: usize,
+}
+
+/// State `(h, c)` of an LSTM at one step; both are `batch x hidden`.
+#[derive(Clone, Debug)]
+pub struct LstmState {
+    /// Hidden state.
+    pub h: Matrix,
+    /// Cell state.
+    pub c: Matrix,
+}
+
+impl LstmState {
+    /// All-zero initial state.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        Self { h: Matrix::zeros(batch, hidden), c: Matrix::zeros(batch, hidden) }
+    }
+}
+
+/// Cache of one LSTM step, for backprop through time.
+#[derive(Clone, Debug)]
+pub struct LstmStepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+impl LstmCell {
+    /// Creates a cell with Xavier-initialized weights and forget-gate bias 1.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (in_dim + 4 * hidden) as f32).sqrt();
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        // Standard trick: bias the forget gate open so gradients flow early.
+        for j in hidden..2 * hidden {
+            b[(0, j)] = 1.0;
+        }
+        Self {
+            w_x: Param::new(Matrix::uniform(in_dim, 4 * hidden, scale, rng)),
+            w_h: Param::new(Matrix::uniform(hidden, 4 * hidden, scale, rng)),
+            b: Param::new(b),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w_x.value.rows()
+    }
+
+    /// One step: consumes `x` (`batch x in_dim`) and the previous state.
+    pub fn step(&self, x: &Matrix, prev: &LstmState) -> (LstmState, LstmStepCache) {
+        let gates = x
+            .matmul(&self.w_x.value)
+            .zip(&prev.h.matmul(&self.w_h.value), |a, b| a + b)
+            .add_row_broadcast(&self.b.value);
+        let parts = gates.hsplit(&[self.hidden; 4]);
+        let i = parts[0].map(sigmoid);
+        let f = parts[1].map(sigmoid);
+        let g = parts[2].map(f32::tanh);
+        let o = parts[3].map(sigmoid);
+        let c = f.hadamard(&prev.c).zip(&i.hadamard(&g), |a, b| a + b);
+        let tanh_c = c.map(f32::tanh);
+        let h = o.hadamard(&tanh_c);
+        (
+            LstmState { h, c },
+            LstmStepCache {
+                x: x.clone(),
+                h_prev: prev.h.clone(),
+                c_prev: prev.c.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            },
+        )
+    }
+
+    /// Backward through one step.
+    ///
+    /// `dh`/`dc` are the gradients flowing into this step's output state.
+    /// Returns `(dx, dh_prev, dc_prev)` and accumulates weight gradients.
+    pub fn step_backward(
+        &mut self,
+        cache: &LstmStepCache,
+        dh: &Matrix,
+        dc: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let do_ = dh.hadamard(&cache.tanh_c);
+        // dct = dc + dh * o * (1 - tanh(c)^2)
+        let dct = dc.zip(
+            &dh.hadamard(&cache.o).hadamard(&cache.tanh_c.map(|t| 1.0 - t * t)),
+            |a, b| a + b,
+        );
+        let di = dct.hadamard(&cache.g);
+        let df = dct.hadamard(&cache.c_prev);
+        let dg = dct.hadamard(&cache.i);
+        let dc_prev = dct.hadamard(&cache.f);
+
+        // Through the gate non-linearities.
+        let di_pre = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+        let df_pre = df.hadamard(&cache.f.map(|v| v * (1.0 - v)));
+        let dg_pre = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+        let do_pre = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+
+        let dgates = Matrix::hcat(&[&di_pre, &df_pre, &dg_pre, &do_pre]);
+        self.w_x.grad += &cache.x.t_matmul(&dgates);
+        self.w_h.grad += &cache.h_prev.t_matmul(&dgates);
+        self.b.grad += &dgates.sum_rows();
+        let dx = dgates.matmul_t(&self.w_x.value);
+        let dh_prev = dgates.matmul_t(&self.w_h.value);
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// Runs the cell over a sequence (`seq[t]` is `batch x in_dim`), returning
+    /// the final state and caches for [`LstmCell::sequence_backward`].
+    pub fn sequence_forward(&self, seq: &[Matrix]) -> (LstmState, Vec<LstmStepCache>) {
+        assert!(!seq.is_empty(), "sequence_forward: empty sequence");
+        let batch = seq[0].rows();
+        let mut state = LstmState::zeros(batch, self.hidden);
+        let mut caches = Vec::with_capacity(seq.len());
+        for x in seq {
+            let (next, cache) = self.step(x, &state);
+            caches.push(cache);
+            state = next;
+        }
+        (state, caches)
+    }
+
+    /// Backprop through time over a full sequence. `dh_final` is the gradient
+    /// of the loss with respect to the final hidden state. Returns `dx` per
+    /// step.
+    pub fn sequence_backward(
+        &mut self,
+        caches: &[LstmStepCache],
+        dh_final: &Matrix,
+    ) -> Vec<Matrix> {
+        let batch = dh_final.rows();
+        let mut dh = dh_final.clone();
+        let mut dc = Matrix::zeros(batch, self.hidden);
+        let mut dxs = vec![Matrix::zeros(0, 0); caches.len()];
+        for (t, cache) in caches.iter().enumerate().rev() {
+            let (dx, dh_prev, dc_prev) = self.step_backward(cache, &dh, &dc);
+            dxs[t] = dx;
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        dxs
+    }
+}
+
+impl Trainable for LstmCell {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_x, &mut self.w_h, &mut self.b]
+    }
+}
+
+/// Binary N-ary TreeLSTM cell (Tai et al. 2015), as used by E2E-Cost \[38\]
+/// and RTOS \[52\] for query-plan trees.
+///
+/// Each node consumes its feature vector `x` plus the `(h, c)` states of its
+/// left and right children (zero states for missing children) and produces
+/// its own `(h, c)`. Separate forget gates per child let the model decide
+/// which subtree's memory to keep — the property that makes TreeLSTMs robust
+/// to join-order restructuring.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeLstm {
+    /// Input-to-gates weights, `in_dim x 5*hidden` (i, f_l, f_r, g, o).
+    pub w_x: Param,
+    /// Left-child hidden-to-gates weights, `hidden x 5*hidden`.
+    pub w_l: Param,
+    /// Right-child hidden-to-gates weights, `hidden x 5*hidden`.
+    pub w_r: Param,
+    /// Gate biases, `1 x 5*hidden`.
+    pub b: Param,
+    hidden: usize,
+}
+
+/// Cache of one TreeLSTM node application.
+#[derive(Clone, Debug)]
+pub struct TreeLstmCache {
+    x: Matrix,
+    h_l: Matrix,
+    h_r: Matrix,
+    c_l: Matrix,
+    c_r: Matrix,
+    i: Matrix,
+    f_l: Matrix,
+    f_r: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+}
+
+impl TreeLstm {
+    /// Creates a binary TreeLSTM cell.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (in_dim + 5 * hidden) as f32).sqrt();
+        let mut b = Matrix::zeros(1, 5 * hidden);
+        for j in hidden..3 * hidden {
+            b[(0, j)] = 1.0; // open both forget gates
+        }
+        Self {
+            w_x: Param::new(Matrix::uniform(in_dim, 5 * hidden, scale, rng)),
+            w_l: Param::new(Matrix::uniform(hidden, 5 * hidden, scale, rng)),
+            w_r: Param::new(Matrix::uniform(hidden, 5 * hidden, scale, rng)),
+            b: Param::new(b),
+            hidden,
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w_x.value.rows()
+    }
+
+    /// Applies the cell at one node. Children states may be zero states for
+    /// leaves. All matrices are `batch x dim`.
+    pub fn node_forward(
+        &self,
+        x: &Matrix,
+        left: &LstmState,
+        right: &LstmState,
+    ) -> (LstmState, TreeLstmCache) {
+        let gates = x
+            .matmul(&self.w_x.value)
+            .zip(&left.h.matmul(&self.w_l.value), |a, b| a + b)
+            .zip(&right.h.matmul(&self.w_r.value), |a, b| a + b)
+            .add_row_broadcast(&self.b.value);
+        let parts = gates.hsplit(&[self.hidden; 5]);
+        let i = parts[0].map(sigmoid);
+        let f_l = parts[1].map(sigmoid);
+        let f_r = parts[2].map(sigmoid);
+        let g = parts[3].map(f32::tanh);
+        let o = parts[4].map(sigmoid);
+        let c = i
+            .hadamard(&g)
+            .zip(&f_l.hadamard(&left.c), |a, b| a + b)
+            .zip(&f_r.hadamard(&right.c), |a, b| a + b);
+        let tanh_c = c.map(f32::tanh);
+        let h = o.hadamard(&tanh_c);
+        (
+            LstmState { h, c },
+            TreeLstmCache {
+                x: x.clone(),
+                h_l: left.h.clone(),
+                h_r: right.h.clone(),
+                c_l: left.c.clone(),
+                c_r: right.c.clone(),
+                i,
+                f_l,
+                f_r,
+                g,
+                o,
+                tanh_c,
+            },
+        )
+    }
+
+    /// Backward through one node. Returns `(dx, d_left, d_right)`.
+    pub fn node_backward(
+        &mut self,
+        cache: &TreeLstmCache,
+        dh: &Matrix,
+        dc: &Matrix,
+    ) -> (Matrix, LstmState, LstmState) {
+        let do_ = dh.hadamard(&cache.tanh_c);
+        let dct = dc.zip(
+            &dh.hadamard(&cache.o).hadamard(&cache.tanh_c.map(|t| 1.0 - t * t)),
+            |a, b| a + b,
+        );
+        let di = dct.hadamard(&cache.g);
+        let dfl = dct.hadamard(&cache.c_l);
+        let dfr = dct.hadamard(&cache.c_r);
+        let dg = dct.hadamard(&cache.i);
+        let dc_l = dct.hadamard(&cache.f_l);
+        let dc_r = dct.hadamard(&cache.f_r);
+
+        let di_pre = di.hadamard(&cache.i.map(|v| v * (1.0 - v)));
+        let dfl_pre = dfl.hadamard(&cache.f_l.map(|v| v * (1.0 - v)));
+        let dfr_pre = dfr.hadamard(&cache.f_r.map(|v| v * (1.0 - v)));
+        let dg_pre = dg.hadamard(&cache.g.map(|v| 1.0 - v * v));
+        let do_pre = do_.hadamard(&cache.o.map(|v| v * (1.0 - v)));
+
+        let dgates = Matrix::hcat(&[&di_pre, &dfl_pre, &dfr_pre, &dg_pre, &do_pre]);
+        self.w_x.grad += &cache.x.t_matmul(&dgates);
+        self.w_l.grad += &cache.h_l.t_matmul(&dgates);
+        self.w_r.grad += &cache.h_r.t_matmul(&dgates);
+        self.b.grad += &dgates.sum_rows();
+        let dx = dgates.matmul_t(&self.w_x.value);
+        let dh_l = dgates.matmul_t(&self.w_l.value);
+        let dh_r = dgates.matmul_t(&self.w_r.value);
+        (dx, LstmState { h: dh_l, c: dc_l }, LstmState { h: dh_r, c: dc_r })
+    }
+}
+
+impl Trainable for TreeLstm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_x, &mut self.w_l, &mut self.w_r, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = LstmCell::new(3, 4, &mut rng);
+        let x = Matrix::uniform(2, 3, 1.0, &mut rng);
+        let (state, _) = cell.step(&x, &LstmState::zeros(2, 4));
+        assert_eq!(state.h.rows(), 2);
+        assert_eq!(state.h.cols(), 4);
+        assert!(state.h.is_finite());
+    }
+
+    /// Numeric gradient check through a 3-step LSTM sequence, on the inputs.
+    #[test]
+    fn lstm_bptt_input_grad_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cell = LstmCell::new(2, 3, &mut rng);
+        let seq: Vec<Matrix> = (0..3).map(|_| Matrix::uniform(1, 2, 1.0, &mut rng)).collect();
+        let (state, caches) = cell.sequence_forward(&seq);
+        let dh = Matrix::full(1, 3, 1.0);
+        let dxs = cell.sequence_backward(&caches, &dh);
+        let eps = 1e-2;
+        for t in 0..seq.len() {
+            for i in 0..seq[t].len() {
+                let mut sp = seq.clone();
+                sp[t].as_mut_slice()[i] += eps;
+                let mut sm = seq.clone();
+                sm[t].as_mut_slice()[i] -= eps;
+                let fp = cell.sequence_forward(&sp).0.h.sum();
+                let fm = cell.sequence_forward(&sm).0.h.sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = dxs[t].as_slice()[i];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "t={t} i={i}: {analytic} vs {numeric}"
+                );
+            }
+        }
+        let _ = state;
+    }
+
+    #[test]
+    fn treelstm_node_grad_check_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cell = TreeLstm::new(2, 3, &mut rng);
+        let x = Matrix::uniform(1, 2, 1.0, &mut rng);
+        let left = LstmState {
+            h: Matrix::uniform(1, 3, 1.0, &mut rng),
+            c: Matrix::uniform(1, 3, 1.0, &mut rng),
+        };
+        let right = LstmState {
+            h: Matrix::uniform(1, 3, 1.0, &mut rng),
+            c: Matrix::uniform(1, 3, 1.0, &mut rng),
+        };
+        let (_, cache) = cell.node_forward(&x, &left, &right);
+        let dh = Matrix::full(1, 3, 1.0);
+        let dc = Matrix::zeros(1, 3);
+        let (dx, dl, dr) = cell.node_backward(&cache, &dh, &dc);
+        let eps = 1e-2;
+        // Check x gradient.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fp = cell.node_forward(&xp, &left, &right).0.h.sum();
+            let fm = cell.node_forward(&xm, &left, &right).0.h.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dx.as_slice()[i] - numeric).abs() < 2e-2);
+        }
+        // Check left-child hidden gradient.
+        for i in 0..left.h.len() {
+            let mut lp = left.clone();
+            lp.h.as_mut_slice()[i] += eps;
+            let mut lm = left.clone();
+            lm.h.as_mut_slice()[i] -= eps;
+            let fp = cell.node_forward(&x, &lp, &right).0.h.sum();
+            let fm = cell.node_forward(&x, &lm, &right).0.h.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dl.h.as_slice()[i] - numeric).abs() < 2e-2);
+        }
+        // Check right-child cell gradient.
+        for i in 0..right.c.len() {
+            let mut rp = right.clone();
+            rp.c.as_mut_slice()[i] += eps;
+            let mut rm = right.clone();
+            rm.c.as_mut_slice()[i] -= eps;
+            let fp = cell.node_forward(&x, &left, &rp).0.h.sum();
+            let fm = cell.node_forward(&x, &left, &rm).0.h.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((dr.c.as_slice()[i] - numeric).abs() < 2e-2);
+        }
+    }
+
+    /// The LSTM should be able to learn to remember the first element of a
+    /// sequence — a basic long-range dependency.
+    #[test]
+    fn lstm_learns_first_token_memory() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cell = LstmCell::new(1, 8, &mut rng);
+        let mut head = crate::layers::Linear::new(8, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            // Sequence of 5; the target is the first element.
+            let first: f32 = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            let mut seq = vec![Matrix::row(vec![first])];
+            for _ in 0..4 {
+                seq.push(Matrix::row(vec![rng.gen_range(-0.2..0.2)]));
+            }
+            cell.zero_grad();
+            head.zero_grad();
+            let (state, caches) = cell.sequence_forward(&seq);
+            let (y, hc) = head.forward(&state.h);
+            let (l, dy) = loss::mse(&y, &Matrix::row(vec![first]));
+            last = l;
+            let dh = head.backward(&hc, &dy);
+            cell.sequence_backward(&caches, &dh);
+            let mut params = cell.params_mut();
+            params.extend(head.params_mut());
+            opt.step(&mut params);
+        }
+        assert!(last < 0.1, "lstm failed to learn memory task: {last}");
+    }
+}

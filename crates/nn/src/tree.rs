@@ -1,0 +1,285 @@
+//! A flattened binary feature tree — the common input type of every tree
+//! model (TreeCNN, TreeLSTM, tree transformer).
+//!
+//! Query plans are binary trees (unary operators have one child), so nodes
+//! carry up to two children. Nodes are stored in a flat arena; the feature
+//! matrix keeps one row per node, which lets tree models run batched matrix
+//! ops over all nodes at once.
+
+use crate::tensor::Matrix;
+
+/// A flattened binary tree with one feature row per node.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    /// `n x d` node features; row `i` belongs to node `i`.
+    pub feats: Matrix,
+    /// `(left, right)` child indices per node; `None` for absent children.
+    pub children: Vec<(Option<usize>, Option<usize>)>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl Tree {
+    /// Builds a single-node tree.
+    pub fn leaf(feat: Vec<f32>) -> Self {
+        Self { feats: Matrix::row(feat), children: vec![(None, None)], root: 0 }
+    }
+
+    /// Builds an internal node over existing subtrees.
+    ///
+    /// The subtrees' node indices are shifted into the combined arena; the
+    /// new node becomes the root.
+    pub fn branch(feat: Vec<f32>, left: Option<Tree>, right: Option<Tree>) -> Self {
+        let d = feat.len();
+        let mut feats_rows: Vec<Vec<f32>> = Vec::new();
+        let mut children: Vec<(Option<usize>, Option<usize>)> = Vec::new();
+        let mut append = |t: Tree| -> usize {
+            let offset = children.len();
+            let n = t.children.len();
+            for i in 0..n {
+                feats_rows.push(t.feats.row_slice(i).to_vec());
+                let (l, r) = t.children[i];
+                children.push((l.map(|x| x + offset), r.map(|x| x + offset)));
+            }
+            t.root + offset
+        };
+        let left_root = left.map(&mut append);
+        let right_root = right.map(&mut append);
+        let root = children.len();
+        feats_rows.push(feat);
+        children.push((left_root, right_root));
+        for row in &feats_rows {
+            assert_eq!(row.len(), d, "Tree::branch: feature width mismatch");
+        }
+        Self { feats: Matrix::from_rows(&feats_rows), children, root }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.feats.cols()
+    }
+
+    /// Parent index of every node (`None` for the root).
+    pub fn parents(&self) -> Vec<Option<usize>> {
+        let mut parent = vec![None; self.len()];
+        for (i, &(l, r)) in self.children.iter().enumerate() {
+            if let Some(l) = l {
+                parent[l] = Some(i);
+            }
+            if let Some(r) = r {
+                parent[r] = Some(i);
+            }
+        }
+        parent
+    }
+
+    /// Depth of every node (root = 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.len()];
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            let (l, r) = self.children[i];
+            for c in [l, r].into_iter().flatten() {
+                depth[c] = depth[i] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Node indices in a depth-first (pre-order, left before right) walk —
+    /// the flattening order used by DFS-LSTM encoders.
+    pub fn dfs_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(i) = stack.pop() {
+            order.push(i);
+            let (l, r) = self.children[i];
+            // Push right first so left is visited first.
+            if let Some(r) = r {
+                stack.push(r);
+            }
+            if let Some(l) = l {
+                stack.push(l);
+            }
+        }
+        order
+    }
+
+    /// Node indices in a bottom-up order (children always before parents).
+    pub fn bottom_up_order(&self) -> Vec<usize> {
+        let mut order = self.dfs_order();
+        order.reverse();
+        order
+    }
+
+    /// Pairwise shortest-path distances in the (undirected) tree, used by the
+    /// tree transformer's structural attention bias.
+    pub fn pairwise_distances(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let parent = self.parents();
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        // BFS from each node; trees are tiny (plan sizes < 64).
+        for s in 0..n {
+            let mut queue = std::collections::VecDeque::from([s]);
+            dist[s][s] = 0;
+            while let Some(u) = queue.pop_front() {
+                let mut neighbors: Vec<usize> = Vec::new();
+                let (l, r) = self.children[u];
+                neighbors.extend([l, r].into_iter().flatten());
+                neighbors.extend(parent[u]);
+                for v in neighbors {
+                    if dist[s][v] == usize::MAX {
+                        dist[s][v] = dist[s][u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// Validates the arena invariants (every non-root node has exactly one
+    /// parent, no cycles, root in range). Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        if self.root >= n {
+            return Err(format!("root {} out of range {n}", self.root));
+        }
+        if self.feats.rows() != n {
+            return Err("feature rows != node count".into());
+        }
+        let mut indegree = vec![0usize; n];
+        for &(l, r) in &self.children {
+            for c in [l, r].into_iter().flatten() {
+                if c >= n {
+                    return Err(format!("child {c} out of range {n}"));
+                }
+                indegree[c] += 1;
+            }
+        }
+        if indegree[self.root] != 0 {
+            return Err("root has a parent".into());
+        }
+        for (i, &d) in indegree.iter().enumerate() {
+            if i != self.root && d != 1 {
+                return Err(format!("node {i} has indegree {d}"));
+            }
+        }
+        if self.dfs_order().len() != n {
+            return Err("tree is not connected".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain(depth: usize, d: usize) -> Tree {
+        let mut t = Tree::leaf(vec![0.0; d]);
+        for _ in 0..depth {
+            t = Tree::branch(vec![1.0; d], Some(t), None);
+        }
+        t
+    }
+
+    #[test]
+    fn branch_builds_valid_arena() {
+        let l = Tree::leaf(vec![1.0, 2.0]);
+        let r = Tree::leaf(vec![3.0, 4.0]);
+        let t = Tree::branch(vec![5.0, 6.0], Some(l), Some(r));
+        t.validate().unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.root, 2);
+        assert_eq!(t.feats.row_slice(t.root), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn dfs_order_visits_parent_before_children() {
+        let t = Tree::branch(
+            vec![0.0],
+            Some(Tree::branch(vec![1.0], Some(Tree::leaf(vec![2.0])), None)),
+            Some(Tree::leaf(vec![3.0])),
+        );
+        let order = t.dfs_order();
+        assert_eq!(order[0], t.root);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; t.len()];
+            for (rank, &i) in order.iter().enumerate() {
+                p[i] = rank;
+            }
+            p
+        };
+        for (i, &(l, r)) in t.children.iter().enumerate() {
+            for c in [l, r].into_iter().flatten() {
+                assert!(pos[i] < pos[c], "parent after child in dfs order");
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_up_order_children_first() {
+        let t = chain(4, 1);
+        let order = t.bottom_up_order();
+        let mut seen = vec![false; t.len()];
+        for &i in &order {
+            let (l, r) = t.children[i];
+            for c in [l, r].into_iter().flatten() {
+                assert!(seen[c], "child {c} not visited before parent {i}");
+            }
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn distances_on_chain() {
+        let t = chain(3, 1);
+        let d = t.pairwise_distances();
+        assert_eq!(d[t.root][t.root], 0);
+        // Chain of 4 nodes: farthest leaf is at distance 3 from the root.
+        let max = d[t.root].iter().max().copied().unwrap();
+        assert_eq!(max, 3);
+    }
+
+    proptest! {
+        /// Randomly composed trees always satisfy the arena invariants, and
+        /// dfs/bottom-up orders are permutations.
+        #[test]
+        fn random_trees_are_valid(ops in proptest::collection::vec(0u8..3, 1..30)) {
+            let mut stack: Vec<Tree> = Vec::new();
+            for op in ops {
+                match op {
+                    0 => stack.push(Tree::leaf(vec![0.5, -0.5])),
+                    1 => {
+                        let l = stack.pop();
+                        stack.push(Tree::branch(vec![1.0, 1.0], l, None));
+                    }
+                    _ => {
+                        let r = stack.pop();
+                        let l = stack.pop();
+                        stack.push(Tree::branch(vec![2.0, 2.0], l, r));
+                    }
+                }
+            }
+            for t in &stack {
+                prop_assert!(t.validate().is_ok());
+                let mut dfs = t.dfs_order();
+                dfs.sort_unstable();
+                prop_assert_eq!(dfs, (0..t.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+}

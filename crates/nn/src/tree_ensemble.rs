@@ -1,0 +1,262 @@
+//! Classic tree learners: CART regression trees and gradient-boosted tree
+//! ensembles. These power ParamTree's per-operator R-param models \[50\] and
+//! serve as the non-neural baseline in the comparative studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A node of a regression tree, stored in a flat arena.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum TreeNode {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Arena index of the `< threshold` branch.
+        left: usize,
+        /// Arena index of the `>= threshold` branch.
+        right: usize,
+    },
+}
+
+/// Hyper-parameters for CART fitting.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum decrease in SSE required to accept a split.
+    pub min_gain: f32,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 6, min_samples_split: 4, min_gain: 1e-7 }
+    }
+}
+
+/// A CART regression tree minimizing squared error.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<TreeNode>,
+    root: usize,
+    params: TreeParams,
+}
+
+impl RegressionTree {
+    /// Fits a tree to feature rows `x` and targets `y`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty or `x.len() != y.len()`.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], params: TreeParams) -> Self {
+        assert!(!x.is_empty(), "RegressionTree::fit: empty data");
+        assert_eq!(x.len(), y.len(), "RegressionTree::fit: x/y mismatch");
+        let mut tree = Self { nodes: Vec::new(), root: 0, params };
+        let idx: Vec<usize> = (0..x.len()).collect();
+        tree.root = tree.build(x, y, &idx, 0);
+        tree
+    }
+
+    fn build(&mut self, x: &[Vec<f32>], y: &[f32], idx: &[usize], depth: usize) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f32>() / idx.len() as f32;
+        if depth >= self.params.max_depth || idx.len() < self.params.min_samples_split {
+            self.nodes.push(TreeNode::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        let sse_before: f32 = idx.iter().map(|&i| (y[i] - mean).powi(2)).sum();
+        let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
+        let n_features = x[0].len();
+        for f in 0..n_features {
+            let mut sorted: Vec<usize> = idx.to_vec();
+            sorted.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal));
+            // Prefix sums over the sorted order for O(n) split evaluation.
+            let mut left_sum = 0.0f32;
+            let mut left_sq = 0.0f32;
+            let total_sum: f32 = idx.iter().map(|&i| y[i]).sum();
+            let total_sq: f32 = idx.iter().map(|&i| y[i] * y[i]).sum();
+            for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                // Skip ties: can't split between equal feature values.
+                if x[i][f] == x[sorted[k + 1]][f] {
+                    continue;
+                }
+                let nl = (k + 1) as f32;
+                let nr = (sorted.len() - k - 1) as f32;
+                let sse_l = left_sq - left_sum * left_sum / nl;
+                let right_sum = total_sum - left_sum;
+                let sse_r = (total_sq - left_sq) - right_sum * right_sum / nr;
+                let gain = sse_before - (sse_l + sse_r);
+                if gain > self.params.min_gain
+                    && best.map_or(true, |(_, _, g)| gain > g)
+                {
+                    let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        match best {
+            None => {
+                self.nodes.push(TreeNode::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold, _)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| x[i][feature] < threshold);
+                if li.is_empty() || ri.is_empty() {
+                    self.nodes.push(TreeNode::Leaf { value: mean });
+                    return self.nodes.len() - 1;
+                }
+                let left = self.build(x, y, &li, depth + 1);
+                let right = self.build(x, y, &ri, depth + 1);
+                self.nodes.push(TreeNode::Split { feature, threshold, left, right });
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    at = if x[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (size accounting).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Gradient-boosted regression trees with squared-error loss.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GradientBoosting {
+    base: f32,
+    trees: Vec<RegressionTree>,
+    learning_rate: f32,
+}
+
+impl GradientBoosting {
+    /// Fits `n_trees` boosted trees with the given shrinkage.
+    pub fn fit(
+        x: &[Vec<f32>],
+        y: &[f32],
+        n_trees: usize,
+        learning_rate: f32,
+        params: TreeParams,
+    ) -> Self {
+        assert!(!x.is_empty(), "GradientBoosting::fit: empty data");
+        let base = y.iter().sum::<f32>() / y.len() as f32;
+        let mut pred: Vec<f32> = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let residuals: Vec<f32> = y.iter().zip(&pred).map(|(&t, &p)| t - p).collect();
+            let tree = RegressionTree::fit(x, &residuals, params);
+            for (p, xi) in pred.iter_mut().zip(x) {
+                *p += learning_rate * tree.predict(xi);
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, learning_rate }
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        self.base
+            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if the ensemble holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tree_fits_step_function() {
+        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let y: Vec<f32> = x.iter().map(|v| if v[0] < 0.5 { 1.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, TreeParams::default());
+        assert!((tree.predict(&[0.2]) - 1.0).abs() < 1e-3);
+        assert!((tree.predict(&[0.8]) - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tree_respects_max_depth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<Vec<f32>> = (0..200).map(|_| vec![rng.gen::<f32>()]).collect();
+        let y: Vec<f32> = (0..200).map(|_| rng.gen::<f32>()).collect();
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            TreeParams { max_depth: 2, min_samples_split: 2, min_gain: 0.0 },
+        );
+        // Depth-2 binary tree has at most 4 leaves + 3 splits = 7 nodes.
+        assert!(tree.num_nodes() <= 7, "{} nodes", tree.num_nodes());
+    }
+
+    #[test]
+    fn tree_constant_target_is_single_leaf() {
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y = vec![3.0f32; 20];
+        let tree = RegressionTree::fit(&x, &y, TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict(&[7.0]), 3.0);
+    }
+
+    #[test]
+    fn boosting_beats_single_tree_on_smooth_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<Vec<f32>> = (0..300).map(|_| vec![rng.gen_range(-2.0f32..2.0)]).collect();
+        let y: Vec<f32> = x.iter().map(|v| v[0].sin() * 2.0).collect();
+        let params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let single = RegressionTree::fit(&x, &y, params);
+        let gbm = GradientBoosting::fit(&x, &y, 50, 0.2, params);
+        let mse = |f: &dyn Fn(&[f32]) -> f32| {
+            x.iter()
+                .zip(&y)
+                .map(|(xi, &yi)| (f(xi) - yi).powi(2))
+                .sum::<f32>()
+                / x.len() as f32
+        };
+        let mse_single = mse(&|v| single.predict(v));
+        let mse_gbm = mse(&|v| gbm.predict(v));
+        assert!(mse_gbm < mse_single * 0.5, "gbm {mse_gbm} vs single {mse_single}");
+    }
+
+    #[test]
+    fn boosting_handles_multifeature() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f32>> = (0..400)
+            .map(|_| vec![rng.gen::<f32>(), rng.gen::<f32>(), rng.gen::<f32>()])
+            .collect();
+        let y: Vec<f32> = x.iter().map(|v| 2.0 * v[0] - v[1] + 0.5 * v[2] * v[0]).collect();
+        let gbm = GradientBoosting::fit(&x, &y, 80, 0.15, TreeParams::default());
+        let mse: f32 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, &yi)| (gbm.predict(xi) - yi).powi(2))
+            .sum::<f32>()
+            / x.len() as f32;
+        assert!(mse < 0.01, "mse {mse}");
+    }
+}

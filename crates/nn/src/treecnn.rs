@@ -1,0 +1,360 @@
+//! Tree convolution (Mou et al. 2016) — the triangular parent-left-right
+//! filter used by Neo \[28\] and Bao \[27\] to encode query plans, followed by
+//! dynamic max pooling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::Activation;
+use crate::param::{Param, Trainable};
+use crate::tensor::Matrix;
+use crate::tree::Tree;
+
+/// One tree-convolution layer: for every node `v` with children `l`, `r`,
+/// computes `act(x_v W_p + x_l W_l + x_r W_r + b)`. Missing children
+/// contribute nothing (zero features).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeConvLayer {
+    /// Parent filter, `in x out`.
+    pub w_p: Param,
+    /// Left-child filter, `in x out`.
+    pub w_l: Param,
+    /// Right-child filter, `in x out`.
+    pub w_r: Param,
+    /// Bias, `1 x out`.
+    pub b: Param,
+    activation: Activation,
+}
+
+/// Cache of one layer application over a whole tree.
+#[derive(Clone, Debug)]
+pub struct TreeConvCache {
+    input: Matrix,
+    output: Matrix,
+    children: Vec<(Option<usize>, Option<usize>)>,
+}
+
+impl TreeConvLayer {
+    /// Creates a layer with Xavier-initialized filters.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut R,
+    ) -> Self {
+        let scale = (6.0 / (3 * in_dim + out_dim) as f32).sqrt();
+        Self {
+            w_p: Param::new(Matrix::uniform(in_dim, out_dim, scale, rng)),
+            w_l: Param::new(Matrix::uniform(in_dim, out_dim, scale, rng)),
+            w_r: Param::new(Matrix::uniform(in_dim, out_dim, scale, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            activation,
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w_p.value.cols()
+    }
+
+    /// Applies the triangular filter at every node; `feats` is `n x in`,
+    /// the result is `n x out` (same node ordering).
+    pub fn forward(
+        &self,
+        feats: &Matrix,
+        children: &[(Option<usize>, Option<usize>)],
+    ) -> (Matrix, TreeConvCache) {
+        let n = feats.rows();
+        let mut pre = feats.matmul(&self.w_p.value).add_row_broadcast(&self.b.value);
+        let left_term = feats.matmul(&self.w_l.value);
+        let right_term = feats.matmul(&self.w_r.value);
+        for (v, &(l, r)) in children.iter().enumerate() {
+            if let Some(l) = l {
+                let add: Vec<f32> = left_term.row_slice(l).to_vec();
+                for (o, a) in pre.row_slice_mut(v).iter_mut().zip(add) {
+                    *o += a;
+                }
+            }
+            if let Some(r) = r {
+                let add: Vec<f32> = right_term.row_slice(r).to_vec();
+                for (o, a) in pre.row_slice_mut(v).iter_mut().zip(add) {
+                    *o += a;
+                }
+            }
+        }
+        let _ = n;
+        let out = self.activation.forward(&pre);
+        (
+            out.clone(),
+            TreeConvCache { input: feats.clone(), output: out, children: children.to_vec() },
+        )
+    }
+
+    /// Backward: `dy` is `n x out`; returns `dx` (`n x in`) and accumulates
+    /// filter gradients.
+    pub fn backward(&mut self, cache: &TreeConvCache, dy: &Matrix) -> Matrix {
+        let dpre = self.activation.backward(&cache.output, dy);
+        // Scatter dpre to the (parent, left, right) positions.
+        let n = cache.input.rows();
+        let in_dim = cache.input.cols();
+        let out_dim = dpre.cols();
+        // d_left[l] += dpre[v] where l is left child of v.
+        let mut d_left = Matrix::zeros(n, out_dim);
+        let mut d_right = Matrix::zeros(n, out_dim);
+        for (v, &(l, r)) in cache.children.iter().enumerate() {
+            if let Some(l) = l {
+                let src: Vec<f32> = dpre.row_slice(v).to_vec();
+                for (o, a) in d_left.row_slice_mut(l).iter_mut().zip(src) {
+                    *o += a;
+                }
+            }
+            if let Some(r) = r {
+                let src: Vec<f32> = dpre.row_slice(v).to_vec();
+                for (o, a) in d_right.row_slice_mut(r).iter_mut().zip(src) {
+                    *o += a;
+                }
+            }
+        }
+        self.w_p.grad += &cache.input.t_matmul(&dpre);
+        self.w_l.grad += &cache.input.t_matmul(&d_left);
+        self.w_r.grad += &cache.input.t_matmul(&d_right);
+        self.b.grad += &dpre.sum_rows();
+        let mut dx = dpre.matmul_t(&self.w_p.value);
+        dx += &d_left.matmul_t(&self.w_l.value);
+        dx += &d_right.matmul_t(&self.w_r.value);
+        debug_assert_eq!(dx.cols(), in_dim);
+        dx
+    }
+}
+
+impl Trainable for TreeConvLayer {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_p, &mut self.w_l, &mut self.w_r, &mut self.b]
+    }
+}
+
+/// A stack of tree-convolution layers followed by dynamic max pooling over
+/// all nodes — produces one fixed-size vector per tree, as in Neo/Bao.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeCnn {
+    layers: Vec<TreeConvLayer>,
+}
+
+/// Cache of a full TreeCnn forward pass.
+#[derive(Clone, Debug)]
+pub struct TreeCnnCache {
+    layer_caches: Vec<TreeConvCache>,
+    argmax: Vec<usize>,
+    nodes: usize,
+}
+
+impl TreeCnn {
+    /// Builds a TreeCNN with layer widths `[in, h1, ..., out]`.
+    pub fn new<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "TreeCnn::new: need at least two dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| TreeConvLayer::new(w[0], w[1], Activation::LeakyRelu, rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Output embedding width.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("layers").out_dim()
+    }
+
+    /// Encodes a tree into a `1 x out` vector via conv layers + max pooling.
+    pub fn forward(&self, tree: &Tree) -> (Matrix, TreeCnnCache) {
+        let mut feats = tree.feats.clone();
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (next, cache) = layer.forward(&feats, &tree.children);
+            layer_caches.push(cache);
+            feats = next;
+        }
+        // Dynamic max pooling over nodes.
+        let out_dim = feats.cols();
+        let mut pooled = Matrix::zeros(1, out_dim);
+        let mut argmax = vec![0usize; out_dim];
+        for c in 0..out_dim {
+            let mut best = f32::NEG_INFINITY;
+            for r in 0..feats.rows() {
+                if feats[(r, c)] > best {
+                    best = feats[(r, c)];
+                    argmax[c] = r;
+                }
+            }
+            pooled[(0, c)] = best;
+        }
+        (pooled, TreeCnnCache { layer_caches, argmax, nodes: feats.rows() })
+    }
+
+    /// Inference-only encoding.
+    pub fn encode(&self, tree: &Tree) -> Matrix {
+        self.forward(tree).0
+    }
+
+    /// Backward from the pooled gradient (`1 x out`); returns the gradient
+    /// with respect to the tree's input features (`n x in`).
+    pub fn backward(&mut self, cache: &TreeCnnCache, dy: &Matrix) -> Matrix {
+        // Un-pool: route each output dim's gradient to its argmax node.
+        let out_dim = dy.cols();
+        let mut grad = Matrix::zeros(cache.nodes, out_dim);
+        for c in 0..out_dim {
+            grad[(cache.argmax[c], c)] += dy[(0, c)];
+        }
+        for (layer, lc) in self.layers.iter_mut().zip(&cache.layer_caches).rev() {
+            grad = layer.backward(lc, &grad);
+        }
+        grad
+    }
+}
+
+impl Trainable for TreeCnn {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_tree() -> Tree {
+        Tree::branch(
+            vec![1.0, 0.0, 0.0],
+            Some(Tree::branch(
+                vec![0.0, 1.0, 0.0],
+                Some(Tree::leaf(vec![0.0, 0.0, 1.0])),
+                Some(Tree::leaf(vec![0.0, 0.0, 2.0])),
+            )),
+            Some(Tree::leaf(vec![0.0, 0.0, 3.0])),
+        )
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cnn = TreeCnn::new(&[3, 8, 4], &mut rng);
+        let (y, _) = cnn.forward(&sample_tree());
+        assert_eq!(y.rows(), 1);
+        assert_eq!(y.cols(), 4);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn input_grad_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cnn = TreeCnn::new(&[3, 5, 2], &mut rng);
+        let tree = sample_tree();
+        let (y, cache) = cnn.forward(&tree);
+        let dy = Matrix::full(1, y.cols(), 1.0);
+        let dx = cnn.backward(&cache, &dy);
+        let eps = 1e-2;
+        for i in 0..tree.feats.len() {
+            let mut tp = tree.clone();
+            tp.feats.as_mut_slice()[i] += eps;
+            let mut tm = tree.clone();
+            tm.feats.as_mut_slice()[i] -= eps;
+            let fp = cnn.forward(&tp).0.sum();
+            let fm = cnn.forward(&tm).0.sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = dx.as_slice()[i];
+            // Max-pool argmax can flip under perturbation; allow loose tol.
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "feat {i}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_grad_check_single_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = TreeConvLayer::new(3, 2, Activation::Tanh, &mut rng);
+        let tree = sample_tree();
+        layer.zero_grad();
+        let (y, cache) = layer.forward(&tree.feats, &tree.children);
+        let dy = Matrix::full(y.rows(), y.cols(), 1.0);
+        layer.backward(&cache, &dy);
+        let grads: Vec<Vec<f32>> =
+            layer.params_mut().iter().map(|p| p.grad.as_slice().to_vec()).collect();
+        let eps = 1e-2;
+        for pi in 0..grads.len() {
+            for i in 0..grads[pi].len() {
+                {
+                    let mut ps = layer.params_mut();
+                    ps[pi].value.as_mut_slice()[i] += eps;
+                }
+                let fp = layer.forward(&tree.feats, &tree.children).0.sum();
+                {
+                    let mut ps = layer.params_mut();
+                    ps[pi].value.as_mut_slice()[i] -= 2.0 * eps;
+                }
+                let fm = layer.forward(&tree.feats, &tree.children).0.sum();
+                {
+                    let mut ps = layer.params_mut();
+                    ps[pi].value.as_mut_slice()[i] += eps;
+                }
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grads[pi][i] - numeric).abs() < 2e-2,
+                    "param {pi}[{i}]: {} vs {numeric}",
+                    grads[pi][i]
+                );
+            }
+        }
+    }
+
+    /// The TreeCNN must distinguish trees by structure, not just by their
+    /// multiset of node features: same leaves, different shape.
+    #[test]
+    fn distinguishes_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cnn = TreeCnn::new(&[2, 8, 4], &mut rng);
+        let mut head = crate::layers::Linear::new(4, 1, &mut rng);
+        let a = Tree::branch(
+            vec![1.0, 0.0],
+            Some(Tree::branch(
+                vec![1.0, 0.0],
+                Some(Tree::leaf(vec![0.0, 1.0])),
+                Some(Tree::leaf(vec![0.0, 1.0])),
+            )),
+            Some(Tree::leaf(vec![0.0, 1.0])),
+        );
+        let b = Tree::branch(
+            vec![1.0, 0.0],
+            Some(Tree::leaf(vec![0.0, 1.0])),
+            Some(Tree::branch(
+                vec![1.0, 0.0],
+                Some(Tree::leaf(vec![0.0, 1.0])),
+                Some(Tree::leaf(vec![0.0, 1.0])),
+            )),
+        );
+        let mut opt = Adam::new(0.02);
+        let mut last = f32::MAX;
+        for _ in 0..300 {
+            cnn.zero_grad();
+            head.zero_grad();
+            let mut total = 0.0;
+            for (t, target) in [(&a, 0.0f32), (&b, 1.0f32)] {
+                let (emb, ec) = cnn.forward(t);
+                let (y, hc) = head.forward(&emb);
+                let (l, dy) = loss::mse(&y, &Matrix::row(vec![target]));
+                total += l;
+                let demb = head.backward(&hc, &dy);
+                cnn.backward(&ec, &demb);
+            }
+            last = total;
+            let mut params = cnn.params_mut();
+            params.extend(head.params_mut());
+            opt.step(&mut params);
+        }
+        assert!(last < 0.05, "treecnn failed to separate structures: {last}");
+    }
+}

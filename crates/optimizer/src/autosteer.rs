@@ -1,0 +1,202 @@
+//! AutoSteer (Anneser et al. \[3\]) — removes Bao's last manual step: instead
+//! of a hand-crafted hint-set collection, *discover* promising hint sets
+//! per query with a greedy search over single-operator toggles, then merge
+//! toggles whose effects compose.
+
+use ml4db_plan::{HintSet, PlanNode, Query};
+
+use crate::env::Env;
+
+/// All single-toggle variations of the default hint set.
+fn single_toggles() -> Vec<HintSet> {
+    let base = HintSet::all();
+    let mut out = Vec::new();
+    for i in 0..5 {
+        let mut h = base;
+        match i {
+            0 => h.hash_join = false,
+            1 => h.nested_loop = false,
+            2 => h.merge_join = false,
+            3 => h.index_scan = false,
+            _ => h.seq_scan = false,
+        }
+        if h.is_valid() {
+            out.push(h);
+        }
+    }
+    out
+}
+
+fn merge(a: HintSet, b: HintSet) -> HintSet {
+    HintSet {
+        hash_join: a.hash_join && b.hash_join,
+        nested_loop: a.nested_loop && b.nested_loop,
+        merge_join: a.merge_join && b.merge_join,
+        index_scan: a.index_scan && b.index_scan,
+        seq_scan: a.seq_scan && b.seq_scan,
+    }
+}
+
+/// Result of one discovery run.
+#[derive(Clone, Debug)]
+pub struct Discovery {
+    /// The dynamically discovered arm collection (default first).
+    pub arms: Vec<HintSet>,
+    /// Hint-set probes that actually changed the plan.
+    pub effective_toggles: usize,
+}
+
+/// Discovers a per-query hint-set collection.
+///
+/// Greedy, as in the paper: probe each single toggle; keep the ones that
+/// change the plan and whose predicted cost does not explode; then try
+/// merging pairs of kept toggles, keeping merges that again change the plan.
+/// `cost_cap` bounds accepted candidates at `cost_cap ×` the default plan's
+/// estimated cost (a cheap guard against obviously terrible arms).
+pub fn discover_hint_sets(env: &Env, query: &Query, cost_cap: f64) -> Discovery {
+    let default_plan = env.expert_plan(query);
+    let Some(default_plan) = default_plan else {
+        return Discovery { arms: vec![HintSet::all()], effective_toggles: 0 };
+    };
+    let base_sig = default_plan.signature();
+    let base_cost = default_plan.est_cost.max(1.0);
+    let consider = |plan: &PlanNode| -> bool {
+        plan.signature() != base_sig && plan.est_cost <= base_cost * cost_cap
+    };
+    let mut kept: Vec<HintSet> = Vec::new();
+    let mut effective = 0usize;
+    for h in single_toggles() {
+        if let Some(plan) = env.plan_with_hint(query, h) {
+            if plan.signature() != base_sig {
+                effective += 1;
+                if plan.est_cost <= base_cost * cost_cap {
+                    kept.push(h);
+                }
+            }
+        }
+    }
+    // Greedy merge phase.
+    let singles = kept.clone();
+    for i in 0..singles.len() {
+        for j in i + 1..singles.len() {
+            let m = merge(singles[i], singles[j]);
+            if !m.is_valid() || kept.contains(&m) {
+                continue;
+            }
+            if let Some(plan) = env.plan_with_hint(query, m) {
+                if consider(&plan) {
+                    kept.push(m);
+                }
+            }
+        }
+    }
+    let mut arms = vec![HintSet::all()];
+    arms.extend(kept);
+    Discovery { arms, effective_toggles: effective }
+}
+
+/// AutoSteer = Bao with per-query discovered arms.
+pub struct AutoSteer {
+    /// Latency cap multiplier for accepted arms.
+    pub cost_cap: f64,
+    /// The underlying bandit (shared model across queries).
+    pub bandit: crate::bao::Bao,
+}
+
+impl AutoSteer {
+    /// Creates an AutoSteer instance.
+    pub fn new() -> Self {
+        Self { cost_cap: 10.0, bandit: crate::bao::Bao::new(vec![HintSet::all()]) }
+    }
+
+    /// One step: discover arms for this query, select with Thompson
+    /// sampling, execute, observe. Returns `(chosen arm, latency)`.
+    pub fn step<R: rand::Rng + ?Sized>(
+        &mut self,
+        env: &Env,
+        query: &Query,
+        rng: &mut R,
+    ) -> (HintSet, f64) {
+        let discovery = discover_hint_sets(env, query, self.cost_cap);
+        self.bandit.arms = discovery.arms;
+        let choice = self.bandit.choose(env, query, rng);
+        let arm = self.bandit.arms[choice.arm];
+        let latency = env.run(query, &choice.plan);
+        self.bandit.observe(&choice.plan, latency);
+        (arm, latency)
+    }
+}
+
+impl Default for AutoSteer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_storage::datasets::{joblite, DatasetConfig};
+    use ml4db_storage::{CmpOp, Database};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut db = Database::analyze(
+            joblite(&DatasetConfig { base_rows: 150, ..Default::default() }, &mut rng),
+            &mut rng,
+        );
+        db.add_index("title", "year");
+        db
+    }
+
+    fn query() -> Query {
+        Query::new(&["title", "cast_info", "person"])
+            .join(0, "id", 1, "movie_id")
+            .join(1, "person_id", 2, "id")
+            .filter(0, "year", CmpOp::Ge, 2010.0)
+    }
+
+    #[test]
+    fn discovery_finds_alternative_arms() {
+        let db = db();
+        let env = Env::new(&db);
+        let d = discover_hint_sets(&env, &query(), 10.0);
+        assert!(d.arms.len() >= 2, "no alternatives discovered");
+        assert_eq!(d.arms[0], HintSet::all(), "default arm always first");
+        assert!(d.effective_toggles >= 1);
+        // All discovered arms are valid and plannable.
+        for &arm in &d.arms {
+            assert!(arm.is_valid());
+            assert!(env.plan_with_hint(&query(), arm).is_some());
+        }
+    }
+
+    #[test]
+    fn merge_composes_restrictions() {
+        let a = HintSet { hash_join: false, ..HintSet::all() };
+        let b = HintSet { index_scan: false, ..HintSet::all() };
+        let m = merge(a, b);
+        assert!(!m.hash_join && !m.index_scan && m.nested_loop);
+    }
+
+    #[test]
+    fn autosteer_runs_and_learns() {
+        let db = db();
+        let env = Env::new(&db);
+        let mut auto = AutoSteer::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = query();
+        let mut last = f64::INFINITY;
+        for _ in 0..8 {
+            let (_, latency) = auto.step(&env, &q, &mut rng);
+            last = latency;
+        }
+        assert!(auto.bandit.window_len() == 8);
+        // After repeated exposure the chosen arm should be no worse than
+        // the expert default.
+        let expert = env.run(&q, &env.expert_plan(&q).unwrap());
+        assert!(last <= expert * 1.5, "autosteer {last} vs expert {expert}");
+    }
+}

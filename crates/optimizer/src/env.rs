@@ -1,0 +1,187 @@
+//! The optimization environment shared by every learned optimizer: a
+//! database, the expert planner (DP + formula cost model + classical
+//! estimator), plan execution with simulated latency, and a flat plan
+//! featurization for bandit-style models.
+
+use ml4db_plan::{
+    execute, execute_with_timeout, CardEstimator, ClassicEstimator, CostModel, ExecOutcome,
+    HintSet, JoinAlgo, PlanNode, PlanOp, Planner, Query, ScanAlgo,
+};
+use ml4db_storage::Database;
+
+/// Width of [`plan_features`].
+pub const PLAN_FEATURE_DIM: usize = 12;
+
+/// Flat featurization of an annotated plan (Bao-style): operator counts,
+/// estimated cost/rows in log space, shape descriptors, and a bias term.
+pub fn plan_features(plan: &PlanNode) -> Vec<f32> {
+    let mut counts = [0usize; 5];
+    let mut total_est_rows = 0.0f64;
+    plan.walk(&mut |n| {
+        let idx = match &n.op {
+            PlanOp::Scan { algo: ScanAlgo::Seq, .. } => 0,
+            PlanOp::Scan { algo: ScanAlgo::Index, .. } => 1,
+            PlanOp::Join { algo: JoinAlgo::NestedLoop, .. } => 2,
+            PlanOp::Join { algo: JoinAlgo::Hash, .. } => 3,
+            PlanOp::Join { algo: JoinAlgo::SortMerge, .. } => 4,
+        };
+        counts[idx] += 1;
+        total_est_rows += n.est_rows;
+    });
+    let size = plan.size().max(1) as f32;
+    vec![
+        1.0, // bias
+        ((plan.est_cost + 1.0).log10() / 8.0) as f32,
+        ((plan.est_rows + 1.0).log10() / 7.0) as f32,
+        ((total_est_rows + 1.0).log10() / 8.0) as f32,
+        counts[0] as f32 / size,
+        counts[1] as f32 / size,
+        counts[2] as f32 / size,
+        counts[3] as f32 / size,
+        counts[4] as f32 / size,
+        plan.depth() as f32 / 8.0,
+        plan.num_joins() as f32 / 6.0,
+        plan.is_left_deep() as u8 as f32,
+    ]
+}
+
+/// The environment: database + expert planner + executor.
+pub struct Env<'a> {
+    /// The database instance.
+    pub db: &'a Database,
+    /// The expert's cost model (default mis-calibrated weights).
+    pub cost_model: CostModel,
+    /// The expert's cardinality estimator.
+    pub estimator: ClassicEstimator,
+}
+
+impl<'a> Env<'a> {
+    /// Creates an environment with the expert defaults.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db, cost_model: CostModel::default(), estimator: ClassicEstimator }
+    }
+
+    /// The expert plan under a hint set, fully cost-annotated.
+    pub fn plan_with_hint(&self, query: &Query, hint: HintSet) -> Option<PlanNode> {
+        let planner = Planner { cost_model: self.cost_model, hint, ..Default::default() };
+        let mut plan = planner.best_plan(self.db, query, &self.estimator)?;
+        self.cost_model.cost_plan(self.db, query, &mut plan, &self.estimator);
+        Some(plan)
+    }
+
+    /// The expert's default plan.
+    pub fn expert_plan(&self, query: &Query) -> Option<PlanNode> {
+        self.plan_with_hint(query, HintSet::all())
+    }
+
+    /// Executes a plan, returning the simulated latency in µs.
+    ///
+    /// # Panics
+    /// Panics if the plan references unknown tables (plans produced through
+    /// this environment never do).
+    pub fn run(&self, query: &Query, plan: &PlanNode) -> f64 {
+        execute(self.db, query, plan).expect("valid plan").latency_us
+    }
+
+    /// Executes with a latency budget; `None` means timed out.
+    pub fn run_with_timeout(&self, query: &Query, plan: &PlanNode, budget_us: f64) -> Option<f64> {
+        match execute_with_timeout(self.db, query, plan, budget_us).expect("valid plan") {
+            ExecOutcome::Done(r) => Some(r.latency_us),
+            ExecOutcome::TimedOut { .. } => None,
+        }
+    }
+
+    /// Annotates an arbitrary plan with the expert's estimates (needed
+    /// before featurizing).
+    pub fn annotate(&self, query: &Query, plan: &mut PlanNode) {
+        self.cost_model.cost_plan(self.db, query, plan, &self.estimator);
+    }
+
+    /// Estimated cardinality of a sub-join under the expert estimator.
+    pub fn estimate(&self, query: &Query, mask: u64) -> f64 {
+        self.estimator.estimate(self.db, query, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_storage::datasets::{joblite, DatasetConfig};
+    use ml4db_storage::CmpOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut db = Database::analyze(
+            joblite(&DatasetConfig { base_rows: 120, ..Default::default() }, &mut rng),
+            &mut rng,
+        );
+        db.add_index("title", "year");
+        db
+    }
+
+    fn query() -> Query {
+        Query::new(&["title", "cast_info"])
+            .join(0, "id", 1, "movie_id")
+            .filter(0, "year", CmpOp::Ge, 2005.0)
+    }
+
+    #[test]
+    fn expert_plan_runs() {
+        let db = db();
+        let env = Env::new(&db);
+        let q = query();
+        let plan = env.expert_plan(&q).unwrap();
+        let latency = env.run(&q, &plan);
+        assert!(latency > 0.0);
+    }
+
+    #[test]
+    fn hints_produce_different_plans_and_latencies() {
+        let db = db();
+        let env = Env::new(&db);
+        let q = query();
+        let all = env.plan_with_hint(&q, HintSet::all()).unwrap();
+        let nl_only = env
+            .plan_with_hint(
+                &q,
+                HintSet {
+                    hash_join: false,
+                    merge_join: false,
+                    ..HintSet::all()
+                },
+            )
+            .unwrap();
+        assert_ne!(all.signature(), nl_only.signature());
+        let la = env.run(&q, &all);
+        let ln = env.run(&q, &nl_only);
+        assert_ne!(la, ln);
+    }
+
+    #[test]
+    fn plan_features_fixed_width_and_informative() {
+        let db = db();
+        let env = Env::new(&db);
+        let q = query();
+        let a = env.plan_with_hint(&q, HintSet::all()).unwrap();
+        let b = env
+            .plan_with_hint(&q, HintSet { hash_join: false, ..HintSet::all() })
+            .unwrap();
+        let fa = plan_features(&a);
+        let fb = plan_features(&b);
+        assert_eq!(fa.len(), PLAN_FEATURE_DIM);
+        assert_eq!(fb.len(), PLAN_FEATURE_DIM);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn timeout_path() {
+        let db = db();
+        let env = Env::new(&db);
+        let q = query();
+        let plan = env.expert_plan(&q).unwrap();
+        assert!(env.run_with_timeout(&q, &plan, 0.5).is_none());
+        assert!(env.run_with_timeout(&q, &plan, 1e12).is_some());
+    }
+}

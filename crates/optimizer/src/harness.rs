@@ -1,0 +1,134 @@
+//! Shared evaluation harness for optimizer experiments: latency
+//! distributions with tail statistics, regression counting against the
+//! expert, and seen/unseen template splits — the measurements behind the
+//! E7/E8 robustness claims.
+
+use std::collections::BTreeSet;
+
+use ml4db_nn::metrics::{tail_summary, TailSummary};
+use ml4db_plan::Query;
+
+use crate::env::Env;
+
+/// One optimizer's evaluation on a workload.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// Per-query latencies (µs).
+    pub latencies: Vec<f64>,
+    /// Tail summary of the latencies.
+    pub tail: TailSummary,
+    /// Queries where this optimizer was ≥ 2x slower than the expert
+    /// ("regressions" in the Bao sense).
+    pub regressions: usize,
+    /// Total latency relative to the expert (1.0 = parity).
+    pub relative_total: f64,
+}
+
+/// Evaluates a plan-producing closure against the expert on a workload.
+pub fn evaluate(
+    env: &Env,
+    queries: &[Query],
+    mut planner: impl FnMut(&Env, &Query) -> Option<ml4db_plan::PlanNode>,
+) -> EvalReport {
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut expert_latencies = Vec::with_capacity(queries.len());
+    let mut regressions = 0usize;
+    for q in queries {
+        let expert = env.expert_plan(q).expect("expert always plans");
+        let expert_lat = env.run(q, &expert);
+        let lat = match planner(env, q) {
+            Some(p) => env.run(q, &p),
+            None => expert_lat, // a planner that abstains falls back
+        };
+        if lat > expert_lat * 2.0 {
+            regressions += 1;
+        }
+        latencies.push(lat);
+        expert_latencies.push(expert_lat);
+    }
+    let tail = tail_summary(&latencies).expect("non-empty workload");
+    let total: f64 = latencies.iter().sum();
+    let expert_total: f64 = expert_latencies.iter().sum::<f64>().max(1e-9);
+    EvalReport { latencies, tail, regressions, relative_total: total / expert_total }
+}
+
+/// Splits a workload into (seen, unseen) by template signature: templates
+/// appearing in the first `train_n` queries are "seen"; queries after that
+/// with novel templates form the "unseen" set.
+pub fn split_seen_unseen(queries: &[Query], train_n: usize) -> (Vec<Query>, Vec<Query>) {
+    let train_n = train_n.min(queries.len());
+    let train: Vec<Query> = queries[..train_n].to_vec();
+    let seen_templates: BTreeSet<String> =
+        train.iter().map(|q| q.template_signature()).collect();
+    let unseen: Vec<Query> = queries[train_n..]
+        .iter()
+        .filter(|q| !seen_templates.contains(&q.template_signature()))
+        .cloned()
+        .collect();
+    (train, unseen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_storage::datasets::{joblite, DatasetConfig};
+    use ml4db_storage::Database;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        let mut rng = StdRng::seed_from_u64(91);
+        Database::analyze(
+            joblite(&DatasetConfig { base_rows: 100, ..Default::default() }, &mut rng),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn expert_vs_itself_is_parity() {
+        let db = db();
+        let env = Env::new(&db);
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries = ml4db_datagen::WorkloadGenerator::new(
+            ml4db_datagen::SchemaGraph::joblite(),
+            Default::default(),
+        )
+        .generate_many(&db, 10, &mut rng);
+        let report = evaluate(&env, &queries, |env, q| env.expert_plan(q));
+        assert!((report.relative_total - 1.0).abs() < 1e-9);
+        assert_eq!(report.regressions, 0);
+        assert!(report.tail.p99 >= report.tail.p50);
+    }
+
+    #[test]
+    fn abstaining_planner_falls_back() {
+        let db = db();
+        let env = Env::new(&db);
+        let mut rng = StdRng::seed_from_u64(2);
+        let queries = ml4db_datagen::WorkloadGenerator::new(
+            ml4db_datagen::SchemaGraph::joblite(),
+            Default::default(),
+        )
+        .generate_many(&db, 5, &mut rng);
+        let report = evaluate(&env, &queries, |_, _| None);
+        assert!((report.relative_total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seen_unseen_split_is_disjoint() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries = ml4db_datagen::WorkloadGenerator::new(
+            ml4db_datagen::SchemaGraph::joblite(),
+            ml4db_datagen::WorkloadConfig { min_tables: 1, max_tables: 3, ..Default::default() },
+        )
+        .generate_many(&db, 60, &mut rng);
+        let (seen, unseen) = split_seen_unseen(&queries, 30);
+        assert_eq!(seen.len(), 30);
+        let seen_sigs: BTreeSet<String> =
+            seen.iter().map(|q| q.template_signature()).collect();
+        for q in &unseen {
+            assert!(!seen_sigs.contains(&q.template_signature()));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # ml4db-pretrain — pretrained, zero-shot, and meta-learned models
+//!
+//! ML4DB Foundation #2 and open problem 3 of the tutorial: escape the
+//! single-task/single-dataset regime.
+//!
+//! * [`pretext`] — unsupervised masked-feature pretraining of plan
+//!   encoders (Paul et al. \[35\]) with sample-efficient fine-tuning;
+//! * [`zeroshot`] — database-agnostic cost models that transfer to unseen
+//!   schemas via injected statistics (Hilprecht & Binnig \[11\]);
+//! * [`mtmlf`] — the quadrant-decomposed multi-task architecture of MTMLF
+//!   \[46\]: shared trunk + per-database adapters + per-task heads;
+//! * [`meta`] — Reptile meta-learning for few-shot cross-task adaptation;
+//! * [`corpus`] — labeled plan corpora shared by all of the above.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod meta;
+pub mod mtmlf;
+pub mod pretext;
+pub mod zeroshot;
+
+pub use corpus::{build_corpus, LabeledCorpus};
+pub use meta::{few_shot_eval, meta_train, reptile_step};
+pub use mtmlf::{Mtmlf, MtmlfSample, Task};
+pub use pretext::{finetune_two_phase, PretrainedEncoder};
+pub use zeroshot::ZeroShotModel;

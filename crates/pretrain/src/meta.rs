@@ -1,0 +1,144 @@
+//! Reptile meta-learning across ML4DB tasks: the trained initialization
+//! adapts to a new task/dataset from a handful of examples — the
+//! "foundation models for ML4DB" direction of open problem 3.
+
+use rand::Rng;
+
+use ml4db_nn::{Matrix, Trainable, Tree};
+use ml4db_repr::CostRegressor;
+
+/// Snapshot of every parameter value of a model.
+fn snapshot(model: &mut CostRegressor) -> Vec<Matrix> {
+    let mut params = model.encoder.params_mut();
+    params.extend(model.head.params_mut());
+    params.iter().map(|p| p.value.clone()).collect()
+}
+
+/// Restores `θ := before + meta_lr * (after − before)` — the Reptile
+/// meta-update.
+fn interpolate(model: &mut CostRegressor, before: &[Matrix], meta_lr: f32) {
+    let mut params = model.encoder.params_mut();
+    params.extend(model.head.params_mut());
+    for (p, b) in params.iter_mut().zip(before) {
+        // p.value currently holds θ_after.
+        let mut v = b.clone();
+        let diff = &p.value - b;
+        v.axpy(meta_lr, &diff);
+        p.value = v;
+    }
+}
+
+/// One Reptile outer step: adapt on a task for `inner_epochs`, then move
+/// the meta-parameters a fraction of the way toward the adapted solution.
+pub fn reptile_step<R: Rng + ?Sized>(
+    model: &mut CostRegressor,
+    task_data: &[(Tree, f64)],
+    inner_epochs: usize,
+    inner_lr: f32,
+    meta_lr: f32,
+    rng: &mut R,
+) {
+    let before = snapshot(model);
+    model.fit(task_data, inner_epochs, inner_lr, rng);
+    interpolate(model, &before, meta_lr);
+}
+
+/// Meta-trains over a set of tasks for `outer_steps` rounds (cycling).
+pub fn meta_train<R: Rng + ?Sized>(
+    model: &mut CostRegressor,
+    tasks: &[Vec<(Tree, f64)>],
+    outer_steps: usize,
+    inner_epochs: usize,
+    inner_lr: f32,
+    meta_lr: f32,
+    rng: &mut R,
+) {
+    assert!(!tasks.is_empty(), "meta_train needs tasks");
+    for step in 0..outer_steps {
+        let task = &tasks[step % tasks.len()];
+        reptile_step(model, task, inner_epochs, inner_lr, meta_lr, rng);
+    }
+}
+
+/// Few-shot evaluation: adapt a copy-by-snapshot of the model on `k` shots
+/// of a new task, return the rank correlation on the task's held-out set.
+pub fn few_shot_eval<R: Rng + ?Sized>(
+    model: &mut CostRegressor,
+    shots: &[(Tree, f64)],
+    heldout: &[(Tree, f64)],
+    adapt_epochs: usize,
+    lr: f32,
+    rng: &mut R,
+) -> f64 {
+    let before = snapshot(model);
+    model.fit(shots, adapt_epochs, lr, rng);
+    let corr = model.eval_rank_correlation(heldout);
+    // Restore the meta-parameters so evaluation is side-effect free.
+    let mut params = model.encoder.params_mut();
+    params.extend(model.head.params_mut());
+    for (p, b) in params.iter_mut().zip(&before) {
+        p.value = b.clone();
+    }
+    corr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_repr::TreeModelKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Task family: latency = scale * exp(depth) — tasks differ in scale.
+    fn task(rng: &mut StdRng, scale: f64, n: usize) -> Vec<(Tree, f64)> {
+        (0..n)
+            .map(|_| {
+                let depth = rng.gen_range(1..5);
+                let mut t = Tree::leaf(vec![rng.gen_range(0.0..1.0), 0.0]);
+                for _ in 0..depth {
+                    t = Tree::branch(
+                        vec![rng.gen_range(0.0..1.0), 1.0],
+                        Some(t),
+                        Some(Tree::leaf(vec![rng.gen_range(0.0..1.0), 0.0])),
+                    );
+                }
+                (t, scale * (depth as f64).exp())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn meta_trained_model_adapts_faster_than_fresh() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tasks: Vec<Vec<(Tree, f64)>> =
+            [30.0, 100.0, 300.0].iter().map(|&s| task(&mut rng, s, 25)).collect();
+        let mut meta = CostRegressor::new(TreeModelKind::TreeCnn, 2, 12, &mut rng);
+        meta_train(&mut meta, &tasks, 12, 3, 0.01, 0.5, &mut rng);
+
+        // New task with an unseen scale; few shots.
+        let new_task = task(&mut rng, 700.0, 40);
+        let (shots, heldout) = new_task.split_at(6);
+        let meta_corr = few_shot_eval(&mut meta, shots, heldout, 8, 0.01, &mut rng);
+        let mut fresh = CostRegressor::new(TreeModelKind::TreeCnn, 2, 12, &mut rng);
+        fresh.fit(shots, 8, 0.01, &mut rng);
+        let fresh_corr = fresh.eval_rank_correlation(heldout);
+        assert!(
+            meta_corr >= fresh_corr - 0.05,
+            "meta-init ({meta_corr}) should adapt at least as fast as fresh ({fresh_corr})"
+        );
+        assert!(meta_corr > 0.5, "meta few-shot correlation too low: {meta_corr}");
+    }
+
+    #[test]
+    fn few_shot_eval_restores_parameters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = CostRegressor::new(TreeModelKind::TreeCnn, 2, 8, &mut rng);
+        let data = task(&mut rng, 50.0, 20);
+        let before = snapshot(&mut model);
+        few_shot_eval(&mut model, &data[..5], &data[5..], 5, 0.01, &mut rng);
+        let after = snapshot(&mut model);
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(b.as_slice(), a.as_slice(), "parameters mutated");
+        }
+    }
+}

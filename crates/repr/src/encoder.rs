@@ -1,0 +1,535 @@
+//! Tree models — stage 2 of the representation pipeline: the five
+//! strategies of Table 1 behind one trainable interface.
+//!
+//! | Table 1 entry | Variant | Used by (paper) |
+//! |---|---|---|
+//! | Feature Vector | [`TreeModelKind::FlatVector`] | AIMeetsAI, ReJOIN |
+//! | LSTM over DFS | [`TreeModelKind::DfsLstm`] | AVGDL |
+//! | TreeCNN | [`TreeModelKind::TreeCnn`] | BAO, NEO, Prestroid |
+//! | TreeLSTM | [`TreeModelKind::TreeLstm`] | E2E-Cost, RTOS |
+//! | Transformer | [`TreeModelKind::TreeTransformer`] | QueryFormer |
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use ml4db_nn::attention::{TransformerBlock, TransformerBlockCache};
+use ml4db_nn::layers::{Linear, LinearCache};
+use ml4db_nn::recurrent::{LstmCell, LstmState, LstmStepCache, TreeLstm, TreeLstmCache};
+use ml4db_nn::treecnn::{TreeCnn, TreeCnnCache};
+use ml4db_nn::{Matrix, Param, Trainable, Tree};
+
+/// Which tree-model strategy to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TreeModelKind {
+    /// Zero-padded concatenation of node features (no learned parameters).
+    FlatVector,
+    /// LSTM over the DFS-flattened node sequence.
+    DfsLstm,
+    /// Triangular tree convolution with dynamic max pooling.
+    TreeCnn,
+    /// Binary child-sum TreeLSTM evaluated bottom-up.
+    TreeLstm,
+    /// Transformer with tree-distance attention bias and a super node.
+    TreeTransformer,
+}
+
+impl TreeModelKind {
+    /// All five strategies (for grids/reports).
+    pub fn all() -> [TreeModelKind; 5] {
+        [
+            TreeModelKind::FlatVector,
+            TreeModelKind::DfsLstm,
+            TreeModelKind::TreeCnn,
+            TreeModelKind::TreeLstm,
+            TreeModelKind::TreeTransformer,
+        ]
+    }
+
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TreeModelKind::FlatVector => "flat",
+            TreeModelKind::DfsLstm => "dfs-lstm",
+            TreeModelKind::TreeCnn => "tree-cnn",
+            TreeModelKind::TreeLstm => "tree-lstm",
+            TreeModelKind::TreeTransformer => "transformer",
+        }
+    }
+}
+
+/// Nodes kept by the flat encoder before truncation.
+const FLAT_MAX_NODES: usize = 16;
+/// Distance buckets for the transformer's structural bias (distances are
+/// clamped; one extra bucket links the super node to everything).
+const DIST_BUCKETS: usize = 10;
+
+/// A trainable plan encoder: tree in, fixed-width embedding out.
+#[derive(Debug)]
+pub struct PlanEncoder {
+    kind: TreeModelKind,
+    in_dim: usize,
+    out_dim: usize,
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    Flat,
+    DfsLstm(LstmCell),
+    TreeCnn(TreeCnn),
+    TreeLstm(TreeLstm),
+    Transformer {
+        embed: Linear,
+        blocks: Vec<TransformerBlock>,
+        super_emb: Param,
+        dist_bias: Param,
+    },
+}
+
+/// Opaque cache produced by [`PlanEncoder::forward`].
+pub enum EncoderCache {
+    /// Flat encoder cache.
+    Flat {
+        /// DFS order used at encode time.
+        order: Vec<usize>,
+        /// Node count of the tree.
+        nodes: usize,
+    },
+    /// DFS-LSTM cache.
+    DfsLstm {
+        /// Per-step LSTM caches.
+        caches: Vec<LstmStepCache>,
+        /// DFS order used.
+        order: Vec<usize>,
+        /// Node count of the tree.
+        nodes: usize,
+    },
+    /// TreeCNN cache.
+    TreeCnn(TreeCnnCache),
+    /// TreeLSTM cache.
+    TreeLstm {
+        /// Per-node caches, aligned with `order`.
+        caches: Vec<TreeLstmCache>,
+        /// Bottom-up evaluation order.
+        order: Vec<usize>,
+        /// Children of each node.
+        children: Vec<(Option<usize>, Option<usize>)>,
+        /// Node count.
+        nodes: usize,
+    },
+    /// Transformer cache.
+    Transformer {
+        /// Embedding-layer cache.
+        embed: LinearCache,
+        /// Per-block caches.
+        blocks: Vec<TransformerBlockCache>,
+        /// Distance-bucket index per (i, j) attention pair.
+        buckets: Vec<usize>,
+        /// Sequence length (nodes + 1 super node).
+        seq_len: usize,
+    },
+}
+
+impl PlanEncoder {
+    /// Creates an encoder of the given kind over `in_dim`-wide node features
+    /// with hidden width `hidden`.
+    pub fn new<R: Rng + ?Sized>(
+        kind: TreeModelKind,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Self {
+        let (inner, out_dim) = match kind {
+            TreeModelKind::FlatVector => (Inner::Flat, FLAT_MAX_NODES * in_dim),
+            TreeModelKind::DfsLstm => (Inner::DfsLstm(LstmCell::new(in_dim, hidden, rng)), hidden),
+            TreeModelKind::TreeCnn => {
+                (Inner::TreeCnn(TreeCnn::new(&[in_dim, hidden, hidden], rng)), hidden)
+            }
+            TreeModelKind::TreeLstm => (Inner::TreeLstm(TreeLstm::new(in_dim, hidden, rng)), hidden),
+            TreeModelKind::TreeTransformer => {
+                let d = hidden.max(8).div_ceil(4) * 4; // divisible by 4 heads
+                // +3 positional channels (is-left-child, is-right-child,
+                // depth): distance bias alone is symmetric under child
+                // swaps, so QueryFormer-style node position info is needed
+                // to see join operand order.
+                let embed = Linear::new(in_dim + 3, d, rng);
+                let blocks = (0..2).map(|_| TransformerBlock::new(d, 4, 2 * d, rng)).collect();
+                let super_emb = Param::new(Matrix::uniform(1, d, 0.1, rng));
+                let dist_bias = Param::new(Matrix::zeros(1, DIST_BUCKETS));
+                (Inner::Transformer { embed, blocks, super_emb, dist_bias }, d)
+            }
+        };
+        Self { kind, in_dim, out_dim, inner }
+    }
+
+    /// Strategy of this encoder.
+    pub fn kind(&self) -> TreeModelKind {
+        self.kind
+    }
+
+    /// Embedding width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Node-feature width expected.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Encodes a feature tree into a `1 x out_dim` embedding.
+    pub fn forward(&self, tree: &Tree) -> (Matrix, EncoderCache) {
+        assert_eq!(tree.dim(), self.in_dim, "tree feature width mismatch");
+        match &self.inner {
+            Inner::Flat => {
+                let order = tree.dfs_order();
+                let mut out = Matrix::zeros(1, self.out_dim);
+                for (slot, &node) in order.iter().take(FLAT_MAX_NODES).enumerate() {
+                    let dst = &mut out.row_slice_mut(0)
+                        [slot * self.in_dim..(slot + 1) * self.in_dim];
+                    dst.copy_from_slice(tree.feats.row_slice(node));
+                }
+                (out, EncoderCache::Flat { order, nodes: tree.len() })
+            }
+            Inner::DfsLstm(cell) => {
+                let order = tree.dfs_order();
+                let seq: Vec<Matrix> = order
+                    .iter()
+                    .map(|&i| Matrix::row(tree.feats.row_slice(i).to_vec()))
+                    .collect();
+                let (state, caches) = cell.sequence_forward(&seq);
+                (state.h, EncoderCache::DfsLstm { caches, order, nodes: tree.len() })
+            }
+            Inner::TreeCnn(cnn) => {
+                let (emb, cache) = cnn.forward(tree);
+                (emb, EncoderCache::TreeCnn(cache))
+            }
+            Inner::TreeLstm(cell) => {
+                let order = tree.bottom_up_order();
+                let hidden = cell.hidden();
+                let mut states: Vec<Option<LstmState>> = vec![None; tree.len()];
+                let mut caches = Vec::with_capacity(tree.len());
+                for &i in &order {
+                    let (l, r) = tree.children[i];
+                    let zero = || LstmState::zeros(1, hidden);
+                    let ls = l.map_or_else(zero, |c| states[c].clone().expect("child computed"));
+                    let rs = r.map_or_else(zero, |c| states[c].clone().expect("child computed"));
+                    let x = Matrix::row(tree.feats.row_slice(i).to_vec());
+                    let (s, cache) = cell.node_forward(&x, &ls, &rs);
+                    states[i] = Some(s);
+                    caches.push(cache);
+                }
+                let h = states[tree.root].clone().expect("root computed").h;
+                (
+                    h,
+                    EncoderCache::TreeLstm {
+                        caches,
+                        order,
+                        children: tree.children.clone(),
+                        nodes: tree.len(),
+                    },
+                )
+            }
+            Inner::Transformer { embed, blocks, super_emb, dist_bias } => {
+                let n = tree.len();
+                // Extend node features with positional channels.
+                let parents = tree.parents();
+                let depths = tree.depths();
+                let mut ext = Matrix::zeros(n, self.in_dim + 3);
+                for i in 0..n {
+                    ext.row_slice_mut(i)[..self.in_dim]
+                        .copy_from_slice(tree.feats.row_slice(i));
+                    if let Some(p) = parents[i] {
+                        let (l, r) = tree.children[p];
+                        if l == Some(i) {
+                            ext[(i, self.in_dim)] = 1.0;
+                        }
+                        if r == Some(i) {
+                            ext[(i, self.in_dim + 1)] = 1.0;
+                        }
+                    }
+                    ext[(i, self.in_dim + 2)] = depths[i] as f32 / 8.0;
+                }
+                let (emb, embed_cache) = embed.forward(&ext);
+                let seq = Matrix::vcat(&[&emb, &super_emb.value]);
+                // Distance-bucket matrix over the (n+1)-long sequence.
+                let dists = tree.pairwise_distances();
+                let seq_len = n + 1;
+                let mut buckets = vec![DIST_BUCKETS - 1; seq_len * seq_len];
+                for i in 0..n {
+                    for j in 0..n {
+                        buckets[i * seq_len + j] = dists[i][j].min(DIST_BUCKETS - 2);
+                    }
+                }
+                let mut bias = Matrix::zeros(seq_len, seq_len);
+                for (k, &b) in buckets.iter().enumerate() {
+                    bias.as_mut_slice()[k] = dist_bias.value[(0, b)];
+                }
+                let mut x = seq;
+                let mut block_caches = Vec::with_capacity(blocks.len());
+                for b in blocks {
+                    let (y, c) = b.forward(&x, Some(&bias));
+                    block_caches.push(c);
+                    x = y;
+                }
+                let out = Matrix::row(x.row_slice(seq_len - 1).to_vec());
+                (
+                    out,
+                    EncoderCache::Transformer {
+                        embed: embed_cache,
+                        blocks: block_caches,
+                        buckets,
+                        seq_len,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Inference-only encoding.
+    pub fn encode(&self, tree: &Tree) -> Matrix {
+        self.forward(tree).0
+    }
+
+    /// Backward from the embedding gradient; accumulates parameter
+    /// gradients (no input gradient is returned — trees are leaves of the
+    /// computation graph).
+    pub fn backward(&mut self, cache: &EncoderCache, dy: &Matrix) {
+        match (&mut self.inner, cache) {
+            (Inner::Flat, EncoderCache::Flat { .. }) => {}
+            (Inner::DfsLstm(cell), EncoderCache::DfsLstm { caches, .. }) => {
+                cell.sequence_backward(caches, dy);
+            }
+            (Inner::TreeCnn(cnn), EncoderCache::TreeCnn(c)) => {
+                cnn.backward(c, dy);
+            }
+            (Inner::TreeLstm(cell), EncoderCache::TreeLstm { caches, order, children, nodes }) => {
+                let hidden = cell.hidden();
+                let mut pending: Vec<(Matrix, Matrix)> = (0..*nodes)
+                    .map(|_| (Matrix::zeros(1, hidden), Matrix::zeros(1, hidden)))
+                    .collect();
+                // Root receives the upstream gradient; order is bottom-up so
+                // reverse it for the top-down backward sweep.
+                let root = *order.last().expect("non-empty order");
+                pending[root].0 = dy.clone();
+                for (pos, &i) in order.iter().enumerate().rev() {
+                    let (dh, dc) = pending[i].clone();
+                    let (_, dl, dr) = cell.node_backward(&caches[pos], &dh, &dc);
+                    if let (Some(l), _) = (children[i].0, ()) {
+                        pending[l].0 += &dl.h;
+                        pending[l].1 += &dl.c;
+                    }
+                    if let Some(r) = children[i].1 {
+                        pending[r].0 += &dr.h;
+                        pending[r].1 += &dr.c;
+                    }
+                }
+            }
+            (
+                Inner::Transformer { embed, blocks, super_emb, dist_bias },
+                EncoderCache::Transformer { embed: ec, blocks: bcs, buckets, seq_len },
+            ) => {
+                let d = dy.cols();
+                let mut grad = Matrix::zeros(*seq_len, d);
+                grad.row_slice_mut(seq_len - 1).copy_from_slice(dy.row_slice(0));
+                let mut dbias_total = Matrix::zeros(*seq_len, *seq_len);
+                for (b, c) in blocks.iter_mut().zip(bcs).rev() {
+                    let (dx, dbias) = b.backward(c, &grad);
+                    grad = dx;
+                    dbias_total += &dbias;
+                }
+                // Scatter bias gradients into the distance buckets.
+                for (k, &bkt) in buckets.iter().enumerate() {
+                    dist_bias.grad[(0, bkt)] += dbias_total.as_slice()[k];
+                }
+                // Split the sequence gradient: node rows → embedding layer,
+                // super row → super embedding.
+                let n = *seq_len - 1;
+                let mut demb = Matrix::zeros(n, d);
+                for i in 0..n {
+                    demb.row_slice_mut(i).copy_from_slice(grad.row_slice(i));
+                }
+                for (g, v) in super_emb
+                    .grad
+                    .row_slice_mut(0)
+                    .iter_mut()
+                    .zip(grad.row_slice(n))
+                {
+                    *g += v;
+                }
+                embed.backward(ec, &demb);
+            }
+            _ => panic!("encoder cache kind mismatch"),
+        }
+    }
+}
+
+impl Trainable for PlanEncoder {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        match &mut self.inner {
+            Inner::Flat => Vec::new(),
+            Inner::DfsLstm(c) => c.params_mut(),
+            Inner::TreeCnn(c) => c.params_mut(),
+            Inner::TreeLstm(c) => c.params_mut(),
+            Inner::Transformer { embed, blocks, super_emb, dist_bias } => {
+                let mut p = embed.params_mut();
+                for b in blocks {
+                    p.extend(b.params_mut());
+                }
+                p.push(super_emb);
+                p.push(dist_bias);
+                p
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_nn::loss;
+    use ml4db_nn::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_a() -> Tree {
+        Tree::branch(
+            vec![1.0, 0.0, 0.5],
+            Some(Tree::branch(
+                vec![0.0, 1.0, 0.2],
+                Some(Tree::leaf(vec![0.0, 0.0, 0.9])),
+                Some(Tree::leaf(vec![0.0, 0.0, 0.1])),
+            )),
+            Some(Tree::leaf(vec![0.0, 0.0, 0.4])),
+        )
+    }
+
+    fn tree_b() -> Tree {
+        Tree::branch(
+            vec![1.0, 0.0, 0.5],
+            Some(Tree::leaf(vec![0.0, 0.0, 0.4])),
+            Some(Tree::branch(
+                vec![0.0, 1.0, 0.2],
+                Some(Tree::leaf(vec![0.0, 0.0, 0.9])),
+                Some(Tree::leaf(vec![0.0, 0.0, 0.1])),
+            )),
+        )
+    }
+
+    #[test]
+    fn all_kinds_encode_correct_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in TreeModelKind::all() {
+            let enc = PlanEncoder::new(kind, 3, 8, &mut rng);
+            let (y, _) = enc.forward(&tree_a());
+            assert_eq!(y.rows(), 1, "{kind:?}");
+            assert_eq!(y.cols(), enc.out_dim(), "{kind:?}");
+            assert!(y.is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn flat_has_no_params_others_do() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut flat = PlanEncoder::new(TreeModelKind::FlatVector, 3, 8, &mut rng);
+        assert_eq!(flat.num_params(), 0);
+        for kind in [
+            TreeModelKind::DfsLstm,
+            TreeModelKind::TreeCnn,
+            TreeModelKind::TreeLstm,
+            TreeModelKind::TreeTransformer,
+        ] {
+            let mut enc = PlanEncoder::new(kind, 3, 8, &mut rng);
+            assert!(enc.num_params() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn structural_kinds_distinguish_mirrored_trees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for kind in [TreeModelKind::TreeLstm, TreeModelKind::TreeCnn, TreeModelKind::DfsLstm] {
+            let enc = PlanEncoder::new(kind, 3, 8, &mut rng);
+            let ya = enc.encode(&tree_a());
+            let yb = enc.encode(&tree_b());
+            assert_ne!(ya, yb, "{kind:?} cannot see structure");
+        }
+    }
+
+    /// Every trainable kind must be able to fit a simple tree-dependent
+    /// regression target end-to-end.
+    #[test]
+    fn trainable_kinds_learn_to_separate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for kind in [
+            TreeModelKind::DfsLstm,
+            TreeModelKind::TreeCnn,
+            TreeModelKind::TreeLstm,
+            TreeModelKind::TreeTransformer,
+        ] {
+            let mut enc = PlanEncoder::new(kind, 3, 8, &mut rng);
+            let mut head = Linear::new(enc.out_dim(), 1, &mut rng);
+            let mut opt = Adam::new(0.01);
+            let data = [(tree_a(), 0.0f32), (tree_b(), 1.0f32)];
+            let mut last = f32::MAX;
+            for _ in 0..400 {
+                enc.zero_grad();
+                head.zero_grad();
+                let mut total = 0.0;
+                for (t, target) in &data {
+                    let (emb, ec) = enc.forward(t);
+                    let (y, hc) = head.forward(&emb);
+                    let (l, dy) = loss::mse(&y, &Matrix::row(vec![*target]));
+                    total += l;
+                    let demb = head.backward(&hc, &dy);
+                    enc.backward(&ec, &demb);
+                }
+                last = total;
+                let mut params = enc.params_mut();
+                params.extend(head.params_mut());
+                opt.step(&mut params);
+                if last < 0.01 {
+                    break;
+                }
+            }
+            assert!(last < 0.08, "{kind:?} failed to fit: loss {last}");
+        }
+    }
+
+    #[test]
+    fn transformer_grad_check_on_bias() {
+        // Finite-difference check on the distance-bias parameter, the most
+        // bespoke part of the QueryFormer-style model.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut enc = PlanEncoder::new(TreeModelKind::TreeTransformer, 3, 8, &mut rng);
+        let t = tree_a();
+        enc.zero_grad();
+        let (y, cache) = enc.forward(&t);
+        let dy = Matrix::full(1, y.cols(), 1.0);
+        enc.backward(&cache, &dy);
+        let analytic = match &mut enc.inner {
+            Inner::Transformer { dist_bias, .. } => dist_bias.grad.clone(),
+            _ => unreachable!(),
+        };
+        let eps = 1e-2;
+        for b in 0..DIST_BUCKETS {
+            let peek = |enc: &mut PlanEncoder, delta: f32| -> f32 {
+                if let Inner::Transformer { dist_bias, .. } = &mut enc.inner {
+                    dist_bias.value[(0, b)] += delta;
+                }
+                let v = enc.forward(&t).0.sum();
+                if let Inner::Transformer { dist_bias, .. } = &mut enc.inner {
+                    dist_bias.value[(0, b)] -= delta;
+                }
+                v
+            };
+            let fp = peek(&mut enc, eps);
+            let fm = peek(&mut enc, -eps);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic[(0, b)] - numeric).abs() < 5e-2,
+                "bucket {b}: {} vs {numeric}",
+                analytic[(0, b)]
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Feature encoding — stage 1 of the query-plan-representation pipeline
+//! (§3.1). Converts every plan node into a fixed-width vector combining
+//! **semantic features** (operator, table identity, predicate shape) and
+//! **database statistics** (estimated rows/cost, histogram selectivities),
+//! the two families the tutorial identifies. A [`FeatureConfig`] switches
+//! families on and off so the comparative study (E12) can isolate their
+//! contribution; disabled families are zeroed, keeping the width constant
+//! so tree models stay interchangeable.
+
+use serde::{Deserialize, Serialize};
+
+use ml4db_nn::Tree;
+use ml4db_plan::{ClassicEstimator, PlanNode, PlanOp, Query, ScanAlgo};
+use ml4db_storage::Database;
+
+/// Operator one-hot width: SeqScan, IndexScan, NLJ, HashJ, MergeJ.
+const OP_DIM: usize = 5;
+/// Table-identity buckets (hashed).
+const TABLE_DIM: usize = 12;
+/// Predicate features: count, mean selectivity, min selectivity.
+const PRED_DIM: usize = 3;
+/// Statistics features: log est rows, log base rows, log est cost.
+const STATS_DIM: usize = 3;
+/// Structural features: join-condition count, subtree depth.
+const STRUCT_DIM: usize = 2;
+
+/// Total node feature width (constant across configs).
+pub const NODE_DIM: usize = OP_DIM + TABLE_DIM + PRED_DIM + STATS_DIM + STRUCT_DIM;
+
+/// Which feature families to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Operator/table/predicate identity features.
+    pub semantic: bool,
+    /// Statistics features (estimates injected from the cost model — the
+    /// channel zero-shot approaches rely on).
+    pub statistics: bool,
+}
+
+impl FeatureConfig {
+    /// Both families (the common practice).
+    pub fn full() -> Self {
+        Self { semantic: true, statistics: true }
+    }
+
+    /// Semantic features only.
+    pub fn semantic_only() -> Self {
+        Self { semantic: true, statistics: false }
+    }
+
+    /// Statistics features only (database-agnostic; used by zero-shot).
+    pub fn statistics_only() -> Self {
+        Self { semantic: false, statistics: true }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match (self.semantic, self.statistics) {
+            (true, true) => "semantic+stats",
+            (true, false) => "semantic",
+            (false, true) => "stats",
+            (false, false) => "none",
+        }
+    }
+}
+
+fn table_bucket(name: &str) -> usize {
+    // FNV-1a over the name, folded into the bucket count.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % TABLE_DIM as u64) as usize
+}
+
+fn log_norm(x: f64, scale: f64) -> f32 {
+    ((x.max(0.0) + 1.0).log10() / scale) as f32
+}
+
+/// Builds the feature vector of one plan node.
+///
+/// `est_rows`/`est_cost` annotations must be present (run a cost model over
+/// the plan first); they are the "database statistics" channel.
+pub fn node_features(
+    db: &Database,
+    query: &Query,
+    node: &PlanNode,
+    config: FeatureConfig,
+) -> Vec<f32> {
+    let mut f = vec![0.0f32; NODE_DIM];
+    let mut at = 0usize;
+
+    // Operator one-hot (semantic).
+    if config.semantic {
+        let op_idx = match &node.op {
+            PlanOp::Scan { algo: ScanAlgo::Seq, .. } => 0,
+            PlanOp::Scan { algo: ScanAlgo::Index, .. } => 1,
+            PlanOp::Join { algo: ml4db_plan::JoinAlgo::NestedLoop, .. } => 2,
+            PlanOp::Join { algo: ml4db_plan::JoinAlgo::Hash, .. } => 3,
+            PlanOp::Join { algo: ml4db_plan::JoinAlgo::SortMerge, .. } => 4,
+        };
+        f[at + op_idx] = 1.0;
+    }
+    at += OP_DIM;
+
+    // Table identity (semantic, scans only).
+    if config.semantic {
+        if let PlanOp::Scan { table, .. } = &node.op {
+            f[at + table_bucket(&query.tables[*table].table)] = 1.0;
+        }
+    }
+    at += TABLE_DIM;
+
+    // Predicate features (semantic + statistics mix; selectivities need
+    // stats, counts are semantic).
+    match &node.op {
+        PlanOp::Scan { predicates, .. } if !predicates.is_empty() => {
+            if config.semantic {
+                f[at] = predicates.len() as f32 / 4.0;
+            }
+            if config.statistics {
+                let sels: Vec<f64> = predicates
+                    .iter()
+                    .map(|p| ClassicEstimator::predicate_selectivity(db, query, p))
+                    .collect();
+                let mean = sels.iter().sum::<f64>() / sels.len() as f64;
+                let min = sels.iter().copied().fold(1.0f64, f64::min);
+                f[at + 1] = mean as f32;
+                f[at + 2] = min as f32;
+            }
+        }
+        _ => {}
+    }
+    at += PRED_DIM;
+
+    // Statistics features.
+    if config.statistics {
+        f[at] = log_norm(node.est_rows, 6.0);
+        let base_rows = match &node.op {
+            PlanOp::Scan { table, .. } => db
+                .table_stats(&query.tables[*table].table)
+                .map(|s| s.rows as f64)
+                .unwrap_or(0.0),
+            PlanOp::Join { .. } => node.est_rows,
+        };
+        f[at + 1] = log_norm(base_rows, 6.0);
+        f[at + 2] = log_norm(node.est_cost, 8.0);
+    }
+    at += STATS_DIM;
+
+    // Structural features.
+    if config.semantic {
+        if let PlanOp::Join { conditions, .. } = &node.op {
+            f[at] = conditions.len() as f32 / 3.0;
+        }
+        f[at + 1] = node.depth() as f32 / 10.0;
+    }
+    debug_assert_eq!(at + STRUCT_DIM, NODE_DIM);
+    f
+}
+
+/// Converts an annotated plan into the flattened feature [`Tree`] consumed
+/// by every tree model.
+pub fn featurize_plan(
+    db: &Database,
+    query: &Query,
+    plan: &PlanNode,
+    config: FeatureConfig,
+) -> Tree {
+    fn rec(db: &Database, query: &Query, node: &PlanNode, config: FeatureConfig) -> Tree {
+        let feat = node_features(db, query, node, config);
+        match node.children.len() {
+            0 => Tree::leaf(feat),
+            1 => Tree::branch(feat, Some(rec(db, query, &node.children[0], config)), None),
+            _ => Tree::branch(
+                feat,
+                Some(rec(db, query, &node.children[0], config)),
+                Some(rec(db, query, &node.children[1], config)),
+            ),
+        }
+    }
+    rec(db, query, plan, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_plan::{CostModel, JoinAlgo, Planner};
+    use ml4db_storage::datasets::{joblite, DatasetConfig};
+    use ml4db_storage::CmpOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Database, Query, PlanNode) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cat = joblite(&DatasetConfig { base_rows: 100, ..Default::default() }, &mut rng);
+        let db = Database::analyze(cat, &mut rng);
+        let q = Query::new(&["title", "cast_info"])
+            .join(0, "id", 1, "movie_id")
+            .filter(0, "year", CmpOp::Ge, 2000.0);
+        let plan = Planner::default()
+            .best_plan(&db, &q, &ml4db_plan::ClassicEstimator)
+            .unwrap();
+        (db, q, plan)
+    }
+
+    #[test]
+    fn tree_mirrors_plan_structure() {
+        let (db, q, plan) = setup();
+        let tree = featurize_plan(&db, &q, &plan, FeatureConfig::full());
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), plan.size());
+        assert_eq!(tree.dim(), NODE_DIM);
+    }
+
+    #[test]
+    fn semantic_only_zeroes_stats() {
+        let (db, q, plan) = setup();
+        let full = node_features(&db, &q, &plan, FeatureConfig::full());
+        let sem = node_features(&db, &q, &plan, FeatureConfig::semantic_only());
+        let stats_range = OP_DIM + TABLE_DIM + PRED_DIM..OP_DIM + TABLE_DIM + PRED_DIM + STATS_DIM;
+        assert!(sem[stats_range.clone()].iter().all(|&v| v == 0.0));
+        assert!(full[stats_range].iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn stats_only_zeroes_op_onehot() {
+        let (db, q, plan) = setup();
+        let stats = node_features(&db, &q, &plan, FeatureConfig::statistics_only());
+        assert!(stats[..OP_DIM + TABLE_DIM].iter().all(|&v| v == 0.0));
+        assert!(stats.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn different_operators_different_features() {
+        let (db, q, _) = setup();
+        let s0 = PlanNode::scan(&q, 0, ScanAlgo::Seq, None);
+        let s1 = PlanNode::scan(&q, 1, ScanAlgo::Seq, None);
+        let hash = PlanNode::join(&q, JoinAlgo::Hash, s0.clone(), s1.clone());
+        let nl = PlanNode::join(&q, JoinAlgo::NestedLoop, s0, s1);
+        let fh = node_features(&db, &q, &hash, FeatureConfig::full());
+        let fn_ = node_features(&db, &q, &nl, FeatureConfig::full());
+        assert_ne!(fh, fn_);
+    }
+
+    #[test]
+    fn annotations_feed_statistics() {
+        let (db, q, mut plan) = setup();
+        // Without annotations, est-row feature is log(0+1) = 0.
+        plan.walk(&mut |_| {});
+        let mut unannotated = plan.clone();
+        unannotated.est_rows = 0.0;
+        unannotated.est_cost = 0.0;
+        CostModel::default().cost_plan(&db, &q, &mut plan, &ml4db_plan::ClassicEstimator);
+        let with = node_features(&db, &q, &plan, FeatureConfig::statistics_only());
+        let without = node_features(&db, &q, &unannotated, FeatureConfig::statistics_only());
+        assert_ne!(with, without);
+    }
+}

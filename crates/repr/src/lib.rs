@@ -1,0 +1,28 @@
+//! # ml4db-repr — query plan representation (ML4DB Foundation #1)
+//!
+//! The tutorial identifies query-plan representation as the common
+//! foundation of cost estimation, index advising, join ordering, view
+//! selection, and learned optimization (§3.1, Table 1), modeled as a
+//! two-stage pipeline:
+//!
+//! 1. **Feature encoding** ([`features`]) — semantic features vs database
+//!    statistics, switchable via [`features::FeatureConfig`];
+//! 2. **Tree model** ([`encoder`]) — the five strategies of Table 1
+//!    (flat feature vector, DFS-LSTM, TreeCNN, TreeLSTM, tree transformer)
+//!    behind one trainable [`encoder::PlanEncoder`].
+//!
+//! [`task`] adds the downstream heads (cost regression, pairwise ranking),
+//! and [`study`] reproduces the comparative-study methodology of \[57\]
+//! (experiment E12), including its "encodings matter more than tree
+//! models" factor analysis.
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod features;
+pub mod study;
+pub mod task;
+
+pub use encoder::{EncoderCache, PlanEncoder, TreeModelKind};
+pub use features::{featurize_plan, node_features, FeatureConfig, NODE_DIM};
+pub use task::{CostRegressor, PairwiseRanker};

@@ -1,0 +1,240 @@
+//! The AI+R tree (Abdullah-Al-Mamun et al. \[2\]) — **ML-enhanced search**:
+//! keep the R-tree, but route *high-overlap* range queries through an
+//! "AI-tree" that casts leaf selection as multi-label classification (one
+//! learned classifier per leaf) and skips the extraneous internal-node
+//! traversal; low-overlap queries use the R-tree as usual.
+
+use ml4db_nn::layers::sigmoid;
+
+use crate::geom::Rect;
+use crate::rtree::{QueryStats, RTree};
+
+/// A per-leaf logistic classifier over query-rectangle features.
+#[derive(Clone, Debug)]
+struct LeafClassifier {
+    /// Weights over [cx, cy, w, h, 1].
+    w: [f64; 5],
+}
+
+const FEATURE_SCALE: f64 = 1000.0;
+
+/// Query-vs-leaf features: a linear classifier over absolute query
+/// coordinates cannot represent "near this leaf", so each leaf's classifier
+/// sees the query *relative* to its MBR — overlap fractions and center
+/// distance — which is what separates result-bearing from dead-space hits.
+fn query_features(q: &Rect, leaf_mbr: &Rect) -> [f64; 5] {
+    let ov = q.overlap_area(leaf_mbr);
+    [
+        ov / leaf_mbr.area().max(1e-9),
+        ov / q.area().max(1e-9),
+        q.center().distance(&leaf_mbr.center()) / FEATURE_SCALE,
+        q.area().sqrt() / FEATURE_SCALE,
+        1.0,
+    ]
+}
+
+impl LeafClassifier {
+    fn new() -> Self {
+        Self { w: [0.0; 5] }
+    }
+
+    fn predict_logit(&self, f: &[f64; 5]) -> f64 {
+        self.w.iter().zip(f).map(|(&w, &x)| w * x).sum()
+    }
+
+    fn train(&mut self, data: &[([f64; 5], bool)], epochs: usize, lr: f64) {
+        for _ in 0..epochs {
+            for (f, label) in data {
+                let p = sigmoid(self.predict_logit(f) as f32) as f64;
+                let g = p - (*label as u8 as f64);
+                for (w, &x) in self.w.iter_mut().zip(f) {
+                    *w -= lr * g * x;
+                }
+            }
+        }
+    }
+}
+
+/// The combined AI+R index.
+#[derive(Clone, Debug)]
+pub struct AiRTree {
+    rtree: RTree,
+    /// `(leaf MBR, leaf entry list)` snapshot used by the AI path.
+    leaves: Vec<(Rect, Vec<crate::rtree::Entry>)>,
+    classifiers: Vec<LeafClassifier>,
+    /// Leaf-intersection count above which a query is routed to the AI-tree.
+    pub overlap_threshold: usize,
+}
+
+/// Which path answered a query (for the E6 accounting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Classical R-tree traversal.
+    RTree,
+    /// Learned multi-label leaf selection.
+    AiTree,
+}
+
+impl AiRTree {
+    /// Builds the hybrid index and trains the per-leaf classifiers on a
+    /// historical workload.
+    pub fn build(rtree: RTree, workload: &[Rect], overlap_threshold: usize) -> Self {
+        let leaves = rtree.leaves();
+        let mut classifiers = vec![LeafClassifier::new(); leaves.len()];
+        for (li, (mbr, entries)) in leaves.iter().enumerate() {
+            let data: Vec<([f64; 5], bool)> = workload
+                .iter()
+                .map(|q| {
+                    let has_result = entries.iter().any(|e| q.intersects(&e.rect));
+                    (query_features(q, mbr), has_result)
+                })
+                .collect();
+            classifiers[li].train(&data, 60, 0.5);
+        }
+        Self { rtree, leaves, classifiers, overlap_threshold }
+    }
+
+    /// Estimated number of leaves a query overlaps (cheap MBR count used by
+    /// the router).
+    pub fn estimated_overlap(&self, q: &Rect) -> usize {
+        self.leaves.iter().filter(|(mbr, _)| q.intersects(mbr)).count()
+    }
+
+    /// Answers a range query; returns `(ids, leaf_accesses, route)`.
+    ///
+    /// The AI path visits only leaves whose classifier fires (and whose MBR
+    /// intersects, as a guard), verifying entries exactly — so precision is
+    /// 1.0 but recall can drop on classifier false negatives, the
+    /// approximation the tutorial's robustness discussion highlights.
+    pub fn range_query(&self, q: &Rect) -> (Vec<usize>, QueryStats, Route) {
+        if self.estimated_overlap(q) < self.overlap_threshold {
+            let (ids, stats) = self.rtree.range_query(q);
+            return (ids, stats, Route::RTree);
+        }
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        for ((mbr, entries), clf) in self.leaves.iter().zip(&self.classifiers) {
+            if !q.intersects(mbr) {
+                continue;
+            }
+            if clf.predict_logit(&query_features(q, mbr)) < 0.0 {
+                continue; // predicted empty: skip the leaf access
+            }
+            stats.leaf_accesses += 1;
+            stats.nodes_visited += 1;
+            for e in entries {
+                if q.intersects(&e.rect) {
+                    out.push(e.id);
+                }
+            }
+        }
+        (out, stats, Route::AiTree)
+    }
+
+    /// Recall of the AI path against the exact R-tree on a workload.
+    pub fn ai_recall(&self, queries: &[Rect]) -> f64 {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in queries {
+            let (exact, _) = self.rtree.range_query(q);
+            let mut approx = std::collections::BTreeSet::new();
+            for ((mbr, entries), clf) in self.leaves.iter().zip(&self.classifiers) {
+                if q.intersects(mbr) && clf.predict_logit(&query_features(q, mbr)) >= 0.0 {
+                    for e in entries {
+                        if q.intersects(&e.rect) {
+                            approx.insert(e.id);
+                        }
+                    }
+                }
+            }
+            total += exact.len();
+            hit += exact.iter().filter(|id| approx.contains(id)).count();
+        }
+        if total == 0 {
+            1.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+
+    /// Underlying R-tree.
+    pub fn rtree(&self) -> &RTree {
+        &self.rtree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate_points, generate_range_queries, SpatialDistribution};
+    use crate::geom::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Vec<crate::rtree::Entry>, AiRTree, Vec<Rect>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points =
+            generate_points(SpatialDistribution::Clustered { clusters: 5 }, 800, &mut rng);
+        let tree = RTree::bulk_load_str(&points);
+        let workload = generate_range_queries(80, 0.15, false, &mut rng);
+        let air = AiRTree::build(tree, &workload, 6);
+        let test = generate_range_queries(40, 0.15, false, &mut rng);
+        (points, air, test)
+    }
+
+    #[test]
+    fn low_overlap_routes_to_rtree_and_is_exact() {
+        let (points, air, _) = setup(1);
+        let q = Rect::new(Point::new(10.0, 10.0), Point::new(30.0, 30.0));
+        let (mut got, _, route) = air.range_query(&q);
+        assert_eq!(route, Route::RTree);
+        got.sort_unstable();
+        let mut expected: Vec<usize> =
+            points.iter().filter(|e| q.intersects(&e.rect)).map(|e| e.id).collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn high_overlap_routes_to_ai_tree() {
+        let (_, air, _) = setup(2);
+        let q = Rect::new(Point::new(100.0, 100.0), Point::new(900.0, 900.0));
+        let (_, _, route) = air.range_query(&q);
+        assert_eq!(route, Route::AiTree);
+    }
+
+    #[test]
+    fn ai_path_precision_is_exact_recall_high() {
+        let (points, air, test) = setup(3);
+        for q in &test {
+            let (got, _, _) = air.range_query(q);
+            // Precision check: everything returned is a true result.
+            for id in &got {
+                let e = &points[*id];
+                assert!(q.intersects(&e.rect), "false positive {id}");
+            }
+        }
+        let recall = air.ai_recall(&test);
+        assert!(recall > 0.85, "AI-path recall {recall}");
+    }
+
+    #[test]
+    fn ai_path_can_skip_leaves() {
+        let (_, air, test) = setup(4);
+        // On large queries, the AI path should access no more leaves than
+        // the MBR-intersection count (and typically fewer).
+        let mut saved_any = false;
+        for q in &test {
+            let overlap = air.estimated_overlap(q);
+            if overlap >= air.overlap_threshold {
+                let (_, stats, route) = air.range_query(q);
+                assert_eq!(route, Route::AiTree);
+                assert!(stats.leaf_accesses <= overlap as u64);
+                if stats.leaf_accesses < overlap as u64 {
+                    saved_any = true;
+                }
+            }
+        }
+        assert!(saved_any, "classifiers never skipped a leaf");
+    }
+}

@@ -1,0 +1,177 @@
+//! Spatial data and query-workload generators for the paradigm experiments
+//! (E3–E6). Real spatial datasets (OSM, Tiger) are substituted by synthetic
+//! distributions with the properties that matter: uniformity vs clustering
+//! vs skew, and query workloads with controllable selectivity and hotspots.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+use crate::geom::{Point, Rect};
+use crate::rtree::Entry;
+
+/// Point distribution families.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpatialDistribution {
+    /// Uniform over the unit domain.
+    Uniform,
+    /// A mixture of Gaussian clusters.
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+    },
+    /// Density increasing along the diagonal (mimics population skew).
+    Skewed,
+}
+
+/// The domain every generator fills.
+pub fn unit_domain() -> Rect {
+    Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0))
+}
+
+/// Generates `n` points from the distribution (ids are `0..n`).
+pub fn generate_points<R: Rng + ?Sized>(
+    dist: SpatialDistribution,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Entry> {
+    let domain = unit_domain();
+    let (w, h) = (domain.max.x - domain.min.x, domain.max.y - domain.min.y);
+    let mut points = Vec::with_capacity(n);
+    match dist {
+        SpatialDistribution::Uniform => {
+            for _ in 0..n {
+                points.push(Point::new(
+                    rng.gen_range(domain.min.x..domain.max.x),
+                    rng.gen_range(domain.min.y..domain.max.y),
+                ));
+            }
+        }
+        SpatialDistribution::Clustered { clusters } => {
+            let clusters = clusters.max(1);
+            let centers: Vec<Point> = (0..clusters)
+                .map(|_| {
+                    Point::new(
+                        rng.gen_range(domain.min.x..domain.max.x),
+                        rng.gen_range(domain.min.y..domain.max.y),
+                    )
+                })
+                .collect();
+            let spread = Normal::new(0.0, w / 30.0).expect("valid normal");
+            for i in 0..n {
+                let c = centers[i % clusters];
+                let p = Point::new(
+                    (c.x + spread.sample(rng)).clamp(domain.min.x, domain.max.x),
+                    (c.y + spread.sample(rng)).clamp(domain.min.y, domain.max.y),
+                );
+                points.push(p);
+            }
+        }
+        SpatialDistribution::Skewed => {
+            for _ in 0..n {
+                // Rejection-free skew: square the uniform draw so mass
+                // concentrates near the origin corner.
+                let u: f64 = rng.gen::<f64>().powi(2);
+                let v: f64 = rng.gen::<f64>().powi(2);
+                points.push(Point::new(domain.min.x + u * w, domain.min.y + v * h));
+            }
+        }
+    }
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(id, p)| Entry { rect: Rect::from_point(p), id })
+        .collect()
+}
+
+/// Generates `n` range queries with side length around `side` (as a
+/// fraction of the domain side); `hotspot` concentrates queries on the
+/// lower-left quadrant (workload skew for the RW-tree/PLATON experiments).
+pub fn generate_range_queries<R: Rng + ?Sized>(
+    n: usize,
+    side_fraction: f64,
+    hotspot: bool,
+    rng: &mut R,
+) -> Vec<Rect> {
+    let domain = unit_domain();
+    let w = domain.max.x - domain.min.x;
+    let side = (side_fraction * w).max(1.0);
+    (0..n)
+        .map(|_| {
+            let (max_x, max_y) = if hotspot {
+                (domain.min.x + w * 0.4, domain.min.y + w * 0.4)
+            } else {
+                (domain.max.x - side, domain.max.y - side)
+            };
+            let x = rng.gen_range(domain.min.x..max_x.max(domain.min.x + 1.0));
+            let y = rng.gen_range(domain.min.y..max_y.max(domain.min.y + 1.0));
+            Rect::new(Point::new(x, y), Point::new(x + side, y + side))
+        })
+        .collect()
+}
+
+/// Average leaf accesses of a query workload over an R-tree — the figure of
+/// merit for every ML-enhanced index experiment.
+pub fn workload_leaf_accesses(tree: &crate::rtree::RTree, queries: &[Rect]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = queries.iter().map(|q| tree.range_query(q).1.leaf_accesses).sum();
+    total as f64 / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_produce_in_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let domain = unit_domain();
+        for dist in [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::Clustered { clusters: 5 },
+            SpatialDistribution::Skewed,
+        ] {
+            let pts = generate_points(dist, 500, &mut rng);
+            assert_eq!(pts.len(), 500);
+            for e in &pts {
+                assert!(domain.contains_rect(&e.rect), "{dist:?} out of domain");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_is_denser_than_uniform_somewhere() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let clustered =
+            generate_points(SpatialDistribution::Clustered { clusters: 3 }, 2000, &mut rng);
+        // Max count in a coarse grid cell should be much higher than the
+        // uniform expectation.
+        let mut grid = [[0usize; 10]; 10];
+        for e in &clustered {
+            let c = e.rect.center();
+            grid[(c.x / 100.0).min(9.0) as usize][(c.y / 100.0).min(9.0) as usize] += 1;
+        }
+        let max = grid.iter().flatten().max().copied().unwrap();
+        assert!(max > 100, "no density peak: max cell {max}");
+    }
+
+    #[test]
+    fn hotspot_queries_stay_in_corner() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let qs = generate_range_queries(100, 0.05, true, &mut rng);
+        for q in &qs {
+            assert!(q.min.x <= 400.0 && q.min.y <= 400.0);
+        }
+    }
+
+    #[test]
+    fn skewed_mass_near_origin() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = generate_points(SpatialDistribution::Skewed, 2000, &mut rng);
+        let near = pts.iter().filter(|e| e.rect.center().x < 250.0).count();
+        assert!(near > 800, "skew too weak: {near}/2000 in left quarter");
+    }
+}

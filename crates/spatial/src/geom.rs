@@ -1,0 +1,230 @@
+//! Planar geometry primitives and the Z-order (Morton) space-filling curve
+//! used by the learned spatial indexes.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle (min/max corners, inclusive).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners (normalized).
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Degenerate rectangle covering one point.
+    pub fn from_point(p: Point) -> Self {
+        Self { min: p, max: p }
+    }
+
+    /// An "empty" rectangle that unions as the identity.
+    pub fn empty() -> Self {
+        Self {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Width × height (0 for empty).
+    pub fn area(&self) -> f64 {
+        if self.min.x > self.max.x || self.min.y > self.max.y {
+            return 0.0;
+        }
+        (self.max.x - self.min.x) * (self.max.y - self.min.y)
+    }
+
+    /// Half-perimeter (margin), used by R*-style heuristics.
+    pub fn margin(&self) -> f64 {
+        if self.min.x > self.max.x {
+            return 0.0;
+        }
+        (self.max.x - self.min.x) + (self.max.y - self.min.y)
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Area increase needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Intersection area with `other`.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.max.x.min(other.max.x) - self.min.x.max(other.min.x)).max(0.0);
+        let h = (self.max.y.min(other.max.y) - self.min.y.max(other.min.y)).max(0.0);
+        w * h
+    }
+
+    /// True if the rectangles intersect (boundaries touch counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// True if `p` lies inside (inclusive).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if `other` lies fully inside (inclusive).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min.x >= self.min.x
+            && other.max.x <= self.max.x
+            && other.min.y >= self.min.y
+            && other.max.y <= self.max.y
+    }
+
+    /// Minimum distance from a point to the rectangle (0 if inside).
+    pub fn min_distance(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+    }
+}
+
+/// Bits per dimension for the Z-order curve.
+pub const Z_BITS: u32 = 21;
+
+/// Interleaves the low [`Z_BITS`] bits of `x` and `y` into a Morton code
+/// (x in even positions).
+pub fn z_interleave(x: u32, y: u32) -> u64 {
+    fn spread(v: u64) -> u64 {
+        let mut v = v & 0x1f_ffff; // 21 bits
+        v = (v | (v << 32)) & 0x1f00000000ffff;
+        v = (v | (v << 16)) & 0x1f0000ff0000ff;
+        v = (v | (v << 8)) & 0x100f00f00f00f00f;
+        v = (v | (v << 4)) & 0x10c30c30c30c30c3;
+        v = (v | (v << 2)) & 0x1249249249249249;
+        v
+    }
+    spread(x as u64) | (spread(y as u64) << 1)
+}
+
+/// Inverse of [`z_interleave`].
+pub fn z_deinterleave(z: u64) -> (u32, u32) {
+    fn compact(v: u64) -> u32 {
+        let mut v = v & 0x1249249249249249;
+        v = (v | (v >> 2)) & 0x10c30c30c30c30c3;
+        v = (v | (v >> 4)) & 0x100f00f00f00f00f;
+        v = (v | (v >> 8)) & 0x1f0000ff0000ff;
+        v = (v | (v >> 16)) & 0x1f00000000ffff;
+        v = (v | (v >> 32)) & 0x1f_ffff;
+        v as u32
+    }
+    (compact(z), compact(z >> 1))
+}
+
+/// Maps a point in `domain` onto the Z-curve.
+pub fn z_value(p: &Point, domain: &Rect) -> u64 {
+    let scale = ((1u64 << Z_BITS) - 1) as f64;
+    let nx = ((p.x - domain.min.x) / (domain.max.x - domain.min.x).max(1e-12)).clamp(0.0, 1.0);
+    let ny = ((p.y - domain.min.y) / (domain.max.y - domain.min.y).max(1e-12)).clamp(0.0, 1.0);
+    z_interleave((nx * scale) as u32, (ny * scale) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rect_union_and_area() {
+        let a = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Rect::new(Point::new(1.0, 1.0), Point::new(3.0, 4.0));
+        assert_eq!(a.area(), 4.0);
+        let u = a.union(&b);
+        assert_eq!(u.min, Point::new(0.0, 0.0));
+        assert_eq!(u.max, Point::new(3.0, 4.0));
+        assert_eq!(a.overlap_area(&b), 1.0);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn empty_rect_is_union_identity() {
+        let a = Rect::new(Point::new(1.0, 2.0), Point::new(3.0, 4.0));
+        let u = Rect::empty().union(&a);
+        assert_eq!(u, a);
+        assert_eq!(Rect::empty().area(), 0.0);
+    }
+
+    #[test]
+    fn min_distance_zero_inside() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0));
+        assert_eq!(r.min_distance(&Point::new(5.0, 5.0)), 0.0);
+        assert!((r.min_distance(&Point::new(13.0, 14.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_order_locality() {
+        // Adjacent cells in the same quadrant have close z-values.
+        let z00 = z_interleave(0, 0);
+        let z10 = z_interleave(1, 0);
+        let z01 = z_interleave(0, 1);
+        let z11 = z_interleave(1, 1);
+        assert_eq!(z00, 0);
+        assert_eq!(z10, 1);
+        assert_eq!(z01, 2);
+        assert_eq!(z11, 3);
+    }
+
+    proptest! {
+        /// The Morton code is a bijection on 21-bit coordinates.
+        #[test]
+        fn z_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21)) {
+            let z = z_interleave(x, y);
+            prop_assert_eq!(z_deinterleave(z), (x, y));
+        }
+
+        /// Z-order preserves the quadrant order: points in the lower-left
+        /// half-domain sort before the upper-right corner cell.
+        #[test]
+        fn z_monotone_on_diagonal(a in 0u32..(1 << 20)) {
+            let z1 = z_interleave(a, a);
+            let z2 = z_interleave(a + 1, a + 1);
+            prop_assert!(z1 < z2);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # ml4db-spatial — the spatial-index paradigm arena
+//!
+//! Implements both sides of the tutorial's paradigm discussion for
+//! multi-dimensional/spatial indexing (§3.2):
+//!
+//! * **Substrate**: planar [`geom`]etry + Z-order curve, the classical
+//!   [`rtree::RTree`] (Guttman ChooseSubtree/quadratic split, STR bulk
+//!   loading, range + exact kNN), and spatial [`data`] generators.
+//! * **Replacement paradigm**: [`zm::ZmIndex`] (Z-curve + learned CDF,
+//!   approximate kNN), [`lisa::LisaIndex`] (learned direct mapping, exact
+//!   ranges), [`rsmi::RsmiIndex`] (rank-space transform).
+//! * **ML-enhanced paradigm**: [`rlr::RlrPolicy`] (RL insertion),
+//!   [`rw::RwPolicy`] (workload-aware insertion), [`platon::PlatonPacker`]
+//!   (MCTS bulk-loading), [`air::AiRTree`] (learned search routing).
+//!
+//! All ML-enhanced structures answer queries through the unmodified R-tree
+//! machinery — the property that gives the paradigm its robustness.
+
+#![warn(missing_docs)]
+
+pub mod air;
+pub mod data;
+pub mod geom;
+pub mod lisa;
+pub mod platon;
+pub mod rlr;
+pub mod rsmi;
+pub mod rtree;
+pub mod rw;
+pub mod zm;
+
+pub use air::AiRTree;
+pub use geom::{Point, Rect};
+pub use lisa::LisaIndex;
+pub use platon::PlatonPacker;
+pub use rlr::RlrPolicy;
+pub use rsmi::RsmiIndex;
+pub use rtree::{Entry, GuttmanPolicy, InsertionPolicy, RTree};
+pub use rw::RwPolicy;
+pub use zm::ZmIndex;

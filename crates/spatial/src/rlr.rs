@@ -1,0 +1,369 @@
+//! The RLR-tree (Gu et al. \[9\]) — **ML-enhanced insertion**: keep the exact
+//! R-tree structure and queries, but learn the ChooseSubtree and SplitNode
+//! decisions with reinforcement learning. The agent picks among the top-k
+//! enlargement candidates (ChooseSubtree) and between two split heuristics
+//! (SplitNode); the reward is the improvement in workload query cost.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ml4db_nn::rl::QTable;
+
+use crate::geom::Rect;
+use crate::rtree::{quadratic_split, Entry, InsertionPolicy, RTree, MIN_ENTRIES};
+
+/// Candidates considered per ChooseSubtree decision.
+const TOP_K: usize = 3;
+/// Action ids: `0..TOP_K` pick a subtree candidate; split actions are in a
+/// separate state space.
+const SPLIT_ACTIONS: usize = 2;
+
+/// The learned insertion policy.
+#[derive(Debug)]
+pub struct RlrPolicy {
+    /// Q-values over quantized decision states.
+    pub q: QTable,
+    /// Exploration rate (0 at evaluation time).
+    pub epsilon: f32,
+    rng: StdRng,
+    /// `(state, action)` log of the current episode (for Monte-Carlo
+    /// updates).
+    trajectory: Vec<(u64, usize)>,
+}
+
+impl RlrPolicy {
+    /// Creates an untrained policy.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            q: QTable::new(0.3, 1.0),
+            epsilon: 0.3,
+            rng: StdRng::seed_from_u64(seed),
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Clears the episode trajectory (call before building a tree).
+    pub fn begin_episode(&mut self) {
+        self.trajectory.clear();
+    }
+
+    /// Credits every decision recorded since the last call with `reward`
+    /// and clears the log. Called per episode or, better, per insert
+    /// segment (the reference-tree scheme of the RLR paper).
+    pub fn end_episode(&mut self, reward: f32) {
+        let steps: Vec<(u64, usize)> = self.trajectory.drain(..).collect();
+        for (state, action) in steps {
+            self.q.update(state, action, reward, 0, &[]);
+        }
+    }
+
+    /// Number of decisions recorded in the current episode.
+    pub fn trajectory_len(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// Forgets everything learned; with ε = 0 the policy then behaves like
+    /// Guttman (action 0 everywhere). Used by the training guardrail.
+    pub fn clear(&mut self) {
+        self.q = QTable::new(self.q.alpha, self.q.gamma);
+        self.trajectory.clear();
+    }
+
+    /// Quantized state for a ChooseSubtree decision: buckets of relative
+    /// enlargement, overlap increase, and occupancy of the top candidates.
+    fn choose_state(candidates: &[(usize, f64, f64)], rect_area: f64) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for &(_, enl, area) in candidates.iter().take(TOP_K) {
+            mix(bucket(enl / (rect_area + 1e-9)));
+            mix(bucket(area / (rect_area + 1e-9)));
+        }
+        h
+    }
+
+    /// Quantized state for a SplitNode decision.
+    fn split_state(rects: &[Rect]) -> u64 {
+        let total: f64 = rects.iter().map(|r| r.area()).sum();
+        let mbr = rects.iter().fold(Rect::empty(), |a, r| a.union(r));
+        let coverage = total / mbr.area().max(1e-9);
+        let aspect = (mbr.max.x - mbr.min.x) / (mbr.max.y - mbr.min.y).max(1e-9);
+        0x9e37_79b9_7f4a_7c15u64
+            .wrapping_mul(bucket(coverage) + 31 * bucket(aspect) + 1)
+    }
+}
+
+impl RlrPolicy {
+    /// Actions offered to the selector. While exploring, every action is
+    /// legal; at evaluation time (ε = 0) only *visited* actions compete
+    /// with the heuristic default (action 0), so an untrained state falls
+    /// back to Guttman's choice instead of an arbitrary unexplored arm
+    /// whose optimistic Q of 0 would beat a slightly negative default.
+    fn candidate_actions(&self, state: u64, n: usize) -> Vec<usize> {
+        if self.epsilon > 0.0 {
+            return (0..n).collect();
+        }
+        let mut v: Vec<usize> =
+            (0..n).filter(|&a| a == 0 || self.q.contains(state, a)).collect();
+        if v.is_empty() {
+            v.push(0);
+        }
+        v
+    }
+}
+
+fn bucket(v: f64) -> u64 {
+    // Log-ish bucketing into 0..=7.
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    ((v.log2() + 4.0).clamp(0.0, 7.0)) as u64
+}
+
+impl InsertionPolicy for RlrPolicy {
+    fn choose_subtree(&mut self, children: &[Rect], rect: &Rect, _level: usize) -> usize {
+        // Rank candidates by enlargement; the agent picks among the top-k.
+        let mut ranked: Vec<(usize, f64, f64)> = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.enlargement(rect), c.area()))
+            .collect();
+        // Sort by (enlargement, area) so action 0 is *exactly* Guttman's
+        // choice — a cleared/untrained policy then reproduces the baseline
+        // tree bit for bit.
+        ranked.sort_by(|a, b| {
+            (a.1, a.2)
+                .partial_cmp(&(b.1, b.2))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ranked.truncate(TOP_K);
+        if ranked.len() == 1 {
+            return ranked[0].0;
+        }
+        let state = Self::choose_state(&ranked, rect.area().max(1e-9));
+        let actions = self.candidate_actions(state, ranked.len());
+        let action = self
+            .q
+            .select(state, &actions, self.epsilon, &mut self.rng)
+            .unwrap_or(0);
+        self.trajectory.push((state, action));
+        ranked[action].0
+    }
+
+    fn split(&mut self, rects: &[Rect]) -> Vec<bool> {
+        let state = Self::split_state(rects);
+        let actions = self.candidate_actions(state | 1, SPLIT_ACTIONS);
+        let action = self
+            .q
+            .select(state | 1, &actions, self.epsilon, &mut self.rng)
+            .unwrap_or(0);
+        self.trajectory.push((state | 1, action));
+        match action {
+            0 => quadratic_split(rects),
+            _ => axis_balanced_split(rects),
+        }
+    }
+}
+
+/// Alternative split heuristic: sort by the longer axis and cut in half —
+/// cheap and low-overlap on clustered data.
+pub fn axis_balanced_split(rects: &[Rect]) -> Vec<bool> {
+    let mbr = rects.iter().fold(Rect::empty(), |a, r| a.union(r));
+    let by_x = (mbr.max.x - mbr.min.x) >= (mbr.max.y - mbr.min.y);
+    let mut order: Vec<usize> = (0..rects.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ka, kb) = if by_x {
+            (rects[a].center().x, rects[b].center().x)
+        } else {
+            (rects[a].center().y, rects[b].center().y)
+        };
+        ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let half = rects.len() / 2;
+    let mut assign = vec![false; rects.len()];
+    for &i in &order[half..] {
+        assign[i] = true;
+    }
+    debug_assert!(half >= MIN_ENTRIES && rects.len() - half >= MIN_ENTRIES);
+    assign
+}
+
+/// Trains an RLR policy with the paper's reference-tree reward scheme:
+/// during each episode the agent tree and a Guttman-built reference tree
+/// receive the same insert stream; at every checkpoint the decisions since
+/// the previous checkpoint are credited with the cost gap between the two
+/// trees on a workload sample. Returns the trained policy and per-episode
+/// full-workload costs.
+pub fn train_rlr(
+    points: &[Entry],
+    queries: &[Rect],
+    episodes: usize,
+    seed: u64,
+) -> (RlrPolicy, Vec<f64>) {
+    use crate::data::workload_leaf_accesses;
+    use crate::rtree::GuttmanPolicy;
+
+    let checkpoint = (points.len() / 8).max(25);
+    // Train on the first half of the workload, keep the second half as the
+    // guardrail's held-out validation set.
+    let split = (queries.len() / 2).max(1);
+    let sample: Vec<Rect> = queries.iter().take(15.min(split)).copied().collect();
+    let validation: Vec<Rect> = queries[split..].to_vec();
+
+    // The reference tree is deterministic: precompute its sample cost at
+    // every checkpoint once.
+    let mut ref_costs = Vec::new();
+    {
+        let mut g = GuttmanPolicy;
+        let mut ref_tree = RTree::new();
+        for (i, e) in points.iter().enumerate() {
+            ref_tree.insert(*e, &mut g);
+            if (i + 1) % checkpoint == 0 || i + 1 == points.len() {
+                ref_costs.push(workload_leaf_accesses(&ref_tree, &sample));
+            }
+        }
+    }
+
+    let mut policy = RlrPolicy::new(seed);
+    let mut costs = Vec::with_capacity(episodes);
+    for ep in 0..episodes {
+        policy.epsilon = 0.4 * (1.0 - ep as f32 / episodes.max(1) as f32);
+        policy.begin_episode();
+        let mut tree = RTree::new();
+        let mut ck = 0usize;
+        for (i, e) in points.iter().enumerate() {
+            tree.insert(*e, &mut policy);
+            if (i + 1) % checkpoint == 0 || i + 1 == points.len() {
+                let agent_cost = workload_leaf_accesses(&tree, &sample);
+                let reference = ref_costs[ck];
+                ck += 1;
+                let reward = (reference - agent_cost) as f32 / reference.max(1.0) as f32;
+                policy.end_episode(reward);
+            }
+        }
+        costs.push(workload_leaf_accesses(&tree, queries));
+    }
+    policy.epsilon = 0.0;
+    // Guardrail (the ML-enhanced robustness pattern): validate the greedy
+    // policy against the Guttman baseline on the training workload; if the
+    // learned decisions hurt, discard them — the policy then reproduces
+    // Guttman exactly. Monte-Carlo rewards are noisy, and a learned index
+    // component must never regress the system it enhances.
+    {
+        policy.begin_episode();
+        let mut greedy_tree = RTree::new();
+        for e in points {
+            greedy_tree.insert(*e, &mut policy);
+        }
+        policy.begin_episode(); // drop the validation trajectory
+        let mut g = GuttmanPolicy;
+        let mut base_tree = RTree::new();
+        for e in points {
+            base_tree.insert(*e, &mut g);
+        }
+        // The learned decisions must improve on the held-out half AND not
+        // regress the full workload; otherwise fall back to Guttman.
+        let held_out = if validation.is_empty() { queries } else { &validation };
+        let ok = workload_leaf_accesses(&greedy_tree, held_out)
+            < workload_leaf_accesses(&base_tree, held_out)
+            && workload_leaf_accesses(&greedy_tree, queries)
+                <= workload_leaf_accesses(&base_tree, queries);
+        if !ok {
+            policy.clear();
+        }
+    }
+    (policy, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{
+        generate_points, generate_range_queries, workload_leaf_accesses, SpatialDistribution,
+    };
+    use crate::rtree::GuttmanPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rlr_tree_is_a_correct_rtree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let points =
+            generate_points(SpatialDistribution::Clustered { clusters: 5 }, 400, &mut rng);
+        let mut policy = RlrPolicy::new(7);
+        let mut tree = RTree::new();
+        for e in &points {
+            tree.insert(*e, &mut policy);
+        }
+        tree.validate().unwrap();
+        let q = Rect::new(
+            crate::geom::Point::new(100.0, 100.0),
+            crate::geom::Point::new(400.0, 400.0),
+        );
+        let (mut got, _) = tree.range_query(&q);
+        got.sort_unstable();
+        let mut expected: Vec<usize> = points
+            .iter()
+            .filter(|e| q.intersects(&e.rect))
+            .map(|e| e.id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected, "learned insertion must not change results");
+    }
+
+    #[test]
+    fn axis_split_respects_min_fill() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let points = generate_points(SpatialDistribution::Uniform, 9, &mut rng);
+        let rects: Vec<Rect> = points.iter().map(|e| e.rect).collect();
+        let assign = axis_balanced_split(&rects);
+        let right = assign.iter().filter(|&&b| b).count();
+        assert!(right >= MIN_ENTRIES && assign.len() - right >= MIN_ENTRIES);
+    }
+
+    #[test]
+    fn training_does_not_regress_vs_baseline() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points =
+            generate_points(SpatialDistribution::Clustered { clusters: 4 }, 600, &mut rng);
+        let queries = generate_range_queries(60, 0.08, true, &mut rng);
+        let (mut policy, costs) = train_rlr(&points, &queries, 10, 11);
+        assert_eq!(costs.len(), 10);
+        // Greedy (trained, no exploration) build:
+        policy.begin_episode();
+        let mut tree = RTree::new();
+        for e in &points {
+            tree.insert(*e, &mut policy);
+        }
+        tree.validate().unwrap();
+        let trained_cost = workload_leaf_accesses(&tree, &queries);
+        let mut g = GuttmanPolicy;
+        let mut base = RTree::new();
+        for e in &points {
+            base.insert(*e, &mut g);
+        }
+        let base_cost = workload_leaf_accesses(&base, &queries);
+        assert!(
+            trained_cost <= base_cost * 1.15,
+            "trained {trained_cost} much worse than baseline {base_cost}"
+        );
+    }
+
+    #[test]
+    fn episode_reward_updates_q() {
+        let mut policy = RlrPolicy::new(1);
+        policy.begin_episode();
+        let children = [
+            Rect::new(crate::geom::Point::new(0.0, 0.0), crate::geom::Point::new(10.0, 10.0)),
+            Rect::new(crate::geom::Point::new(20.0, 20.0), crate::geom::Point::new(30.0, 30.0)),
+        ];
+        let r = Rect::from_point(crate::geom::Point::new(5.0, 5.0));
+        policy.choose_subtree(&children, &r, 0);
+        assert_eq!(policy.trajectory_len(), 1);
+        policy.end_episode(1.0);
+        assert!(!policy.q.is_empty());
+        assert_eq!(policy.trajectory_len(), 0);
+    }
+}

@@ -1,0 +1,669 @@
+//! An R-tree with pluggable insertion policy — the classical spatial index
+//! the ML-enhanced methods (RLR-tree, RW-tree, PLATON, AI+R) build on.
+//!
+//! The default [`GuttmanPolicy`] implements least-enlargement ChooseSubtree
+//! and quadratic split (Guttman 1984). The ML-enhanced variants plug in
+//! through [`InsertionPolicy`], exactly the two functions the RLR-tree \[9\]
+//! identifies as the learnable heuristics.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::geom::{Point, Rect};
+
+/// Maximum entries per node.
+pub const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node after a split.
+pub const MIN_ENTRIES: usize = 3;
+
+/// A stored item: its bounding rectangle and caller-assigned id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Bounding rectangle (a degenerate rect for points).
+    pub rect: Rect,
+    /// Caller-assigned identifier.
+    pub id: usize,
+}
+
+/// Decides where inserts descend and how overfull nodes split.
+pub trait InsertionPolicy {
+    /// Index of the child to descend into; `children` are the child MBRs.
+    fn choose_subtree(&mut self, children: &[Rect], rect: &Rect, level: usize) -> usize;
+
+    /// Partition `rects` (length `MAX_ENTRIES + 1`) into two groups; `true`
+    /// goes to the new right node. Both groups must have at least
+    /// [`MIN_ENTRIES`] members — violations fall back to a balanced split.
+    fn split(&mut self, rects: &[Rect]) -> Vec<bool>;
+}
+
+/// Classical Guttman heuristics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GuttmanPolicy;
+
+impl InsertionPolicy for GuttmanPolicy {
+    fn choose_subtree(&mut self, children: &[Rect], rect: &Rect, _level: usize) -> usize {
+        let mut best = 0;
+        let mut best_enl = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, c) in children.iter().enumerate() {
+            let enl = c.enlargement(rect);
+            let area = c.area();
+            if enl < best_enl || (enl == best_enl && area < best_area) {
+                best = i;
+                best_enl = enl;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    fn split(&mut self, rects: &[Rect]) -> Vec<bool> {
+        quadratic_split(rects)
+    }
+}
+
+/// Guttman's quadratic split: seed with the pair wasting the most area,
+/// then greedily assign by preference difference.
+pub fn quadratic_split(rects: &[Rect]) -> Vec<bool> {
+    let n = rects.len();
+    debug_assert!(n >= 2);
+    // Pick seeds.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in i + 1..n {
+            let waste =
+                rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut assign = vec![None::<bool>; n];
+    assign[s1] = Some(false);
+    assign[s2] = Some(true);
+    let mut mbr1 = rects[s1];
+    let mut mbr2 = rects[s2];
+    let mut count1 = 1;
+    let mut count2 = 1;
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| assign[i].is_none()).collect();
+    while !remaining.is_empty() {
+        // Forced assignment to satisfy the minimum fill.
+        let left_needed = MIN_ENTRIES.saturating_sub(count1);
+        let right_needed = MIN_ENTRIES.saturating_sub(count2);
+        if left_needed >= remaining.len() {
+            for &i in &remaining {
+                assign[i] = Some(false);
+            }
+            break;
+        }
+        if right_needed >= remaining.len() {
+            for &i in &remaining {
+                assign[i] = Some(true);
+            }
+            break;
+        }
+        // Pick the entry with the largest preference difference.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let d1 = mbr1.enlargement(&rects[i]);
+                let d2 = mbr2.enlargement(&rects[i]);
+                (pos, (d1 - d2).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            .expect("non-empty");
+        let i = remaining.swap_remove(pos);
+        let d1 = mbr1.enlargement(&rects[i]);
+        let d2 = mbr2.enlargement(&rects[i]);
+        let to_right = d2 < d1 || (d1 == d2 && count2 < count1);
+        assign[i] = Some(to_right);
+        if to_right {
+            mbr2 = mbr2.union(&rects[i]);
+            count2 += 1;
+        } else {
+            mbr1 = mbr1.union(&rects[i]);
+            count1 += 1;
+        }
+    }
+    assign.into_iter().map(|a| a.expect("all assigned")).collect()
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf(Vec<Entry>),
+    Internal(Vec<Box<Node>>),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    rect: Rect,
+    kind: NodeKind,
+}
+
+impl Node {
+    fn recompute_rect(&mut self) {
+        self.rect = match &self.kind {
+            NodeKind::Leaf(entries) => {
+                entries.iter().fold(Rect::empty(), |acc, e| acc.union(&e.rect))
+            }
+            NodeKind::Internal(children) => {
+                children.iter().fold(Rect::empty(), |acc, c| acc.union(&c.rect))
+            }
+        };
+    }
+
+    fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(e) => e.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+}
+
+/// Access counters of one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Internal + leaf nodes visited.
+    pub nodes_visited: u64,
+    /// Leaf nodes visited (the I/O proxy every spatial experiment reports).
+    pub leaf_accesses: u64,
+}
+
+/// The R-tree.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    root: Box<Node>,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: Box::new(Node { rect: Rect::empty(), kind: NodeKind::Leaf(Vec::new()) }), len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry using the given policy.
+    pub fn insert<P: InsertionPolicy>(&mut self, entry: Entry, policy: &mut P) {
+        if let Some((r1, r2)) = Self::insert_rec(&mut self.root, entry, policy, 0) {
+            self.root = Box::new(Node {
+                rect: r1.rect.union(&r2.rect),
+                kind: NodeKind::Internal(vec![r1, r2]),
+            });
+        }
+        self.len += 1;
+    }
+
+    fn insert_rec<P: InsertionPolicy>(
+        node: &mut Node,
+        entry: Entry,
+        policy: &mut P,
+        level: usize,
+    ) -> Option<(Box<Node>, Box<Node>)> {
+        node.rect = if node.len() == 0 { entry.rect } else { node.rect.union(&entry.rect) };
+        match &mut node.kind {
+            NodeKind::Leaf(entries) => {
+                entries.push(entry);
+                if entries.len() > MAX_ENTRIES {
+                    let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+                    let assign = sanitize_split(policy.split(&rects), rects.len());
+                    let (mut left, mut right) = (Vec::new(), Vec::new());
+                    for (e, to_right) in entries.drain(..).zip(&assign) {
+                        if *to_right {
+                            right.push(e);
+                        } else {
+                            left.push(e);
+                        }
+                    }
+                    let mut n1 = Node { rect: Rect::empty(), kind: NodeKind::Leaf(left) };
+                    let mut n2 = Node { rect: Rect::empty(), kind: NodeKind::Leaf(right) };
+                    n1.recompute_rect();
+                    n2.recompute_rect();
+                    return Some((Box::new(n1), Box::new(n2)));
+                }
+                None
+            }
+            NodeKind::Internal(children) => {
+                let child_rects: Vec<Rect> = children.iter().map(|c| c.rect).collect();
+                let idx = policy
+                    .choose_subtree(&child_rects, &entry.rect, level)
+                    .min(children.len() - 1);
+                if let Some((n1, n2)) = Self::insert_rec(&mut children[idx], entry, policy, level + 1)
+                {
+                    children[idx] = n1;
+                    children.push(n2);
+                    if children.len() > MAX_ENTRIES {
+                        let rects: Vec<Rect> = children.iter().map(|c| c.rect).collect();
+                        let assign = sanitize_split(policy.split(&rects), rects.len());
+                        let (mut left, mut right) = (Vec::new(), Vec::new());
+                        for (c, to_right) in children.drain(..).zip(&assign) {
+                            if *to_right {
+                                right.push(c);
+                            } else {
+                                left.push(c);
+                            }
+                        }
+                        let mut n1 = Node { rect: Rect::empty(), kind: NodeKind::Internal(left) };
+                        let mut n2 = Node { rect: Rect::empty(), kind: NodeKind::Internal(right) };
+                        n1.recompute_rect();
+                        n2.recompute_rect();
+                        return Some((Box::new(n1), Box::new(n2)));
+                    }
+                }
+                node.recompute_rect();
+                None
+            }
+        }
+    }
+
+    /// Bulk-loads with Sort-Tile-Recursive packing — the classical
+    /// bulk-loading baseline PLATON is compared against.
+    pub fn bulk_load_str(entries: &[Entry]) -> Self {
+        if entries.is_empty() {
+            return Self::new();
+        }
+        // Sort by x, slice into vertical strips, sort strips by y, pack.
+        let mut sorted: Vec<Entry> = entries.to_vec();
+        sorted.sort_by(|a, b| {
+            a.rect
+                .center()
+                .x
+                .partial_cmp(&b.rect.center().x)
+                .unwrap_or(Ordering::Equal)
+        });
+        let n = sorted.len();
+        let leaf_count = n.div_ceil(MAX_ENTRIES);
+        let strips = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strips);
+        let mut leaves: Vec<Box<Node>> = Vec::new();
+        for strip in sorted.chunks(per_strip) {
+            let mut strip: Vec<Entry> = strip.to_vec();
+            strip.sort_by(|a, b| {
+                a.rect
+                    .center()
+                    .y
+                    .partial_cmp(&b.rect.center().y)
+                    .unwrap_or(Ordering::Equal)
+            });
+            for chunk in strip.chunks(MAX_ENTRIES) {
+                let mut node =
+                    Node { rect: Rect::empty(), kind: NodeKind::Leaf(chunk.to_vec()) };
+                node.recompute_rect();
+                leaves.push(Box::new(node));
+            }
+        }
+        Self::pack_levels(leaves, entries.len())
+    }
+
+    /// Builds internal levels over pre-packed leaves (shared by STR and
+    /// PLATON).
+    fn pack_levels(mut level: Vec<Box<Node>>, len: usize) -> Self {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for chunk in level.chunks_mut(MAX_ENTRIES) {
+                let children: Vec<Box<Node>> = chunk.iter().map(|c| (*c).clone()).collect();
+                let mut node = Node { rect: Rect::empty(), kind: NodeKind::Internal(children) };
+                node.recompute_rect();
+                next.push(Box::new(node));
+            }
+            level = next;
+        }
+        let root = level.pop().unwrap_or_else(|| {
+            Box::new(Node { rect: Rect::empty(), kind: NodeKind::Leaf(Vec::new()) })
+        });
+        Self { root, len }
+    }
+
+    /// Builds a tree directly from grouped leaf entries (used by PLATON's
+    /// learned packer).
+    pub fn from_leaf_groups(groups: &[Vec<Entry>]) -> Self {
+        let len = groups.iter().map(|g| g.len()).sum();
+        let leaves: Vec<Box<Node>> = groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| {
+                let mut node = Node { rect: Rect::empty(), kind: NodeKind::Leaf(g.clone()) };
+                node.recompute_rect();
+                Box::new(node)
+            })
+            .collect();
+        Self::pack_levels(leaves, len)
+    }
+
+    /// Range query: ids of entries whose rects intersect `query`.
+    pub fn range_query(&self, query: &Rect) -> (Vec<usize>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut stack = vec![&*self.root];
+        while let Some(node) = stack.pop() {
+            stats.nodes_visited += 1;
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    stats.leaf_accesses += 1;
+                    for e in entries {
+                        if query.intersects(&e.rect) {
+                            out.push(e.id);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        if query.intersects(&c.rect) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Exact k-nearest-neighbor query (best-first search).
+    pub fn knn(&self, point: &Point, k: usize) -> (Vec<usize>, QueryStats) {
+        struct Cand<'a> {
+            dist: f64,
+            node: Option<&'a Node>,
+            id: usize,
+        }
+        impl PartialEq for Cand<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.dist == other.dist
+            }
+        }
+        impl Eq for Cand<'_> {}
+        impl Ord for Cand<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance.
+                other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+            }
+        }
+        impl PartialOrd for Cand<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut stats = QueryStats::default();
+        let mut heap = BinaryHeap::new();
+        heap.push(Cand { dist: 0.0, node: Some(&*self.root), id: 0 });
+        let mut result = Vec::new();
+        while let Some(c) = heap.pop() {
+            match c.node {
+                Some(node) => {
+                    stats.nodes_visited += 1;
+                    match &node.kind {
+                        NodeKind::Leaf(entries) => {
+                            stats.leaf_accesses += 1;
+                            for e in entries {
+                                heap.push(Cand {
+                                    dist: e.rect.min_distance(point),
+                                    node: None,
+                                    id: e.id,
+                                });
+                            }
+                        }
+                        NodeKind::Internal(children) => {
+                            for child in children {
+                                heap.push(Cand {
+                                    dist: child.rect.min_distance(point),
+                                    node: Some(child),
+                                    id: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+                None => {
+                    result.push(c.id);
+                    if result.len() >= k {
+                        break;
+                    }
+                }
+            }
+        }
+        (result, stats)
+    }
+
+    /// Validates R-tree invariants: MBRs cover children, fills within
+    /// bounds (root exempt), all leaves at the same depth.
+    pub fn validate(&self) -> Result<(), String> {
+        fn rec(node: &Node, is_root: bool) -> Result<usize, String> {
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    if !is_root && (entries.len() < MIN_ENTRIES || entries.len() > MAX_ENTRIES) {
+                        return Err(format!("leaf fill {} out of bounds", entries.len()));
+                    }
+                    for e in entries {
+                        if !node.rect.contains_rect(&e.rect) {
+                            return Err("leaf MBR does not cover entry".into());
+                        }
+                    }
+                    Ok(1)
+                }
+                NodeKind::Internal(children) => {
+                    if children.is_empty() {
+                        return Err("empty internal node".into());
+                    }
+                    if !is_root && (children.len() < 2 || children.len() > MAX_ENTRIES) {
+                        return Err(format!("internal fill {} out of bounds", children.len()));
+                    }
+                    let mut depth = None;
+                    for c in children {
+                        if !node.rect.contains_rect(&c.rect) {
+                            return Err("internal MBR does not cover child".into());
+                        }
+                        let d = rec(c, false)?;
+                        if *depth.get_or_insert(d) != d {
+                            return Err("leaves at different depths".into());
+                        }
+                    }
+                    Ok(depth.expect("children non-empty") + 1)
+                }
+            }
+        }
+        rec(&self.root, true).map(|_| ())
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        fn rec(node: &Node) -> usize {
+            match &node.kind {
+                NodeKind::Leaf(_) => 1,
+                NodeKind::Internal(children) => 1 + children.iter().map(|c| rec(c)).sum::<usize>(),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// MBRs and entry lists of all leaves (AI+R trains per-leaf models).
+    pub fn leaves(&self) -> Vec<(Rect, Vec<Entry>)> {
+        fn rec(node: &Node, out: &mut Vec<(Rect, Vec<Entry>)>) {
+            match &node.kind {
+                NodeKind::Leaf(entries) => out.push((node.rect, entries.clone())),
+                NodeKind::Internal(children) => {
+                    for c in children {
+                        rec(c, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(&self.root, &mut out);
+        out
+    }
+}
+
+/// Repairs a policy-produced split that violates the minimum fill: falls
+/// back to a balanced split along the x-center order.
+fn sanitize_split(assign: Vec<bool>, n: usize) -> Vec<bool> {
+    let right = assign.iter().filter(|&&b| b).count();
+    let left = n - right;
+    if assign.len() == n && left >= MIN_ENTRIES && right >= MIN_ENTRIES {
+        return assign;
+    }
+    (0..n).map(|i| i >= n / 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| Entry {
+                rect: Rect::from_point(Point::new(
+                    rng.gen_range(0.0..1000.0),
+                    rng.gen_range(0.0..1000.0),
+                )),
+                id,
+            })
+            .collect()
+    }
+
+    fn brute_range(entries: &[Entry], q: &Rect) -> Vec<usize> {
+        let mut v: Vec<usize> =
+            entries.iter().filter(|e| q.intersects(&e.rect)).map(|e| e.id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_and_range_match_bruteforce() {
+        let entries = random_points(500, 1);
+        let mut tree = RTree::new();
+        let mut policy = GuttmanPolicy;
+        for e in &entries {
+            tree.insert(*e, &mut policy);
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), 500);
+        let q = Rect::new(Point::new(100.0, 100.0), Point::new(400.0, 300.0));
+        let (mut got, stats) = tree.range_query(&q);
+        got.sort_unstable();
+        assert_eq!(got, brute_range(&entries, &q));
+        assert!(stats.leaf_accesses > 0);
+        assert!(
+            stats.leaf_accesses < tree.node_count() as u64,
+            "query should prune"
+        );
+    }
+
+    #[test]
+    fn str_bulk_load_correct_and_tighter() {
+        let entries = random_points(800, 2);
+        let str_tree = RTree::bulk_load_str(&entries);
+        str_tree.validate().unwrap();
+        let mut incr = RTree::new();
+        let mut policy = GuttmanPolicy;
+        for e in &entries {
+            incr.insert(*e, &mut policy);
+        }
+        let q = Rect::new(Point::new(0.0, 0.0), Point::new(250.0, 250.0));
+        let (mut a, sa) = str_tree.range_query(&q);
+        let (mut b, sb) = incr.range_query(&q);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(a, brute_range(&entries, &q));
+        // Packed trees should generally touch fewer leaves.
+        assert!(
+            sa.leaf_accesses <= sb.leaf_accesses + 5,
+            "STR {} vs incremental {}",
+            sa.leaf_accesses,
+            sb.leaf_accesses
+        );
+    }
+
+    #[test]
+    fn knn_matches_bruteforce() {
+        let entries = random_points(400, 3);
+        let tree = RTree::bulk_load_str(&entries);
+        let p = Point::new(500.0, 500.0);
+        let (got, _) = tree.knn(&p, 10);
+        let mut expected: Vec<(f64, usize)> = entries
+            .iter()
+            .map(|e| (e.rect.min_distance(&p), e.id))
+            .collect();
+        expected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let expected_ids: Vec<usize> = expected[..10].iter().map(|&(_, id)| id).collect();
+        // Best-first returns in distance order.
+        assert_eq!(got, expected_ids);
+    }
+
+    #[test]
+    fn knn_k_larger_than_tree() {
+        let entries = random_points(5, 4);
+        let tree = RTree::bulk_load_str(&entries);
+        let (got, _) = tree.knn(&Point::new(0.0, 0.0), 10);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_fill() {
+        let entries = random_points(MAX_ENTRIES + 1, 5);
+        let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+        let assign = quadratic_split(&rects);
+        let right = assign.iter().filter(|&&b| b).count();
+        assert!(right >= MIN_ENTRIES);
+        assert!(assign.len() - right >= MIN_ENTRIES);
+    }
+
+    #[test]
+    fn from_leaf_groups_valid() {
+        let entries = random_points(100, 6);
+        let groups: Vec<Vec<Entry>> =
+            entries.chunks(MAX_ENTRIES).map(|c| c.to_vec()).collect();
+        let tree = RTree::from_leaf_groups(&groups);
+        // Min-fill may be violated by tiny tail groups; only check coverage.
+        let q = Rect::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let (got, _) = tree.range_query(&q);
+        assert_eq!(got.len(), 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range queries agree with brute force for random data and boxes.
+        #[test]
+        fn range_oracle(
+            seed in 0u64..1000,
+            qx in 0.0f64..900.0,
+            qy in 0.0f64..900.0,
+            w in 1.0f64..500.0,
+            h in 1.0f64..500.0,
+        ) {
+            let entries = random_points(120, seed);
+            let mut tree = RTree::new();
+            let mut policy = GuttmanPolicy;
+            for e in &entries {
+                tree.insert(*e, &mut policy);
+            }
+            tree.validate().unwrap();
+            let q = Rect::new(Point::new(qx, qy), Point::new(qx + w, qy + h));
+            let (mut got, _) = tree.range_query(&q);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_range(&entries, &q));
+        }
+    }
+}

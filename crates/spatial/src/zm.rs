@@ -1,0 +1,276 @@
+//! The ZM index (Wang et al. \[43\]) — the "replacement" learned spatial
+//! index: linearize points with the Z-curve and learn the CDF of the
+//! z-values (here with ε-bounded piecewise linear segments, reusing the
+//! PGM machinery). Exhibits the two limitations the tutorial highlights:
+//! range queries scan false positives inside the z-interval, and kNN is
+//! approximate.
+
+use crate::geom::{z_value, Point, Rect};
+use crate::rtree::Entry;
+use ml4db_index::pgm::{build_segments, Segment};
+
+/// A ZM index over points.
+#[derive(Clone, Debug)]
+pub struct ZmIndex {
+    /// Entries sorted by z-value; parallel to `zs`.
+    entries: Vec<Entry>,
+    /// Sorted z-values (with duplicate-resolving sequence numbers mixed in
+    /// via stable sort — duplicates are allowed).
+    zs: Vec<u64>,
+    segments: Vec<Segment>,
+    epsilon: usize,
+    domain: Rect,
+}
+
+impl ZmIndex {
+    /// Builds the index with CDF error bound `epsilon`.
+    pub fn build(mut entries: Vec<Entry>, domain: Rect, epsilon: usize) -> Self {
+        let epsilon = epsilon.max(1);
+        entries.sort_by_key(|e| z_value(&e.rect.center(), &domain));
+        let zs: Vec<u64> = entries.iter().map(|e| z_value(&e.rect.center(), &domain)).collect();
+        // build_segments expects sorted keys; duplicates are tolerated by
+        // the cone (dx == 0 entries are skipped).
+        let segments = build_segments(&zs, epsilon);
+        Self { entries, zs, segments, epsilon, domain }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of learned segments (model size).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Predicted position of a z-value (clamped into the covering
+    /// segment's range, as in the PGM).
+    fn predict(&self, z: u64) -> usize {
+        if self.segments.is_empty() {
+            return 0;
+        }
+        let idx = self
+            .segments
+            .partition_point(|s| s.first_key <= z)
+            .saturating_sub(1);
+        let seg = &self.segments[idx];
+        let range_end =
+            self.segments.get(idx + 1).map_or(self.zs.len(), |next| next.start);
+        seg.model
+            .predict(z, self.zs.len())
+            .clamp(seg.start, range_end.saturating_sub(1).max(seg.start))
+    }
+
+    /// First position with z-value `>= z`.
+    fn lower_bound(&self, z: u64) -> usize {
+        if self.zs.is_empty() {
+            return 0;
+        }
+        let pred = self.predict(z);
+        // Exponential search on the raw z array (duplicates allowed).
+        let pairs: &[u64] = &self.zs;
+        let mut lo;
+        let mut hi;
+        let pos = pred.min(pairs.len() - 1);
+        if pairs[pos] < z {
+            let mut radius = 1usize;
+            lo = pos;
+            loop {
+                let probe = pos.saturating_add(radius);
+                if probe >= pairs.len() - 1 {
+                    hi = pairs.len() - 1;
+                    break;
+                }
+                if pairs[probe] >= z {
+                    hi = probe;
+                    break;
+                }
+                lo = probe;
+                radius *= 2;
+            }
+        } else {
+            hi = pos;
+            let mut radius = 1usize;
+            loop {
+                if radius > pos {
+                    lo = 0;
+                    break;
+                }
+                let probe = pos - radius;
+                if pairs[probe] <= z {
+                    lo = probe;
+                    break;
+                }
+                hi = probe;
+                radius *= 2;
+            }
+        }
+        lo + pairs[lo..=hi].partition_point(|&v| v < z)
+    }
+
+    /// Range query: exact results, but the scan may touch false positives
+    /// inside the z-interval. Returns `(ids, scanned)` where `scanned`
+    /// counts candidate entries examined (the ZM inefficiency metric).
+    pub fn range_query(&self, query: &Rect) -> (Vec<usize>, u64) {
+        if self.entries.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let z_lo = z_value(&query.min, &self.domain);
+        let z_hi = z_value(&query.max, &self.domain);
+        let start = self.lower_bound(z_lo);
+        let mut out = Vec::new();
+        let mut scanned = 0u64;
+        for i in start..self.entries.len() {
+            if self.zs[i] > z_hi {
+                break;
+            }
+            scanned += 1;
+            if query.contains_point(&self.entries[i].rect.center()) {
+                out.push(self.entries[i].id);
+            }
+        }
+        (out, scanned)
+    }
+
+    /// **Approximate** kNN: examines `2 * window + k` candidates around the
+    /// query's z-position and returns the `k` nearest among them. Recall
+    /// below 1.0 is expected — the robustness limitation of z-order kNN the
+    /// tutorial calls out.
+    pub fn knn_approximate(&self, point: &Point, k: usize, window: usize) -> Vec<usize> {
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        let z = z_value(point, &self.domain);
+        let pos = self.lower_bound(z);
+        let lo = pos.saturating_sub(window + k);
+        let hi = (pos + window + k).min(self.entries.len());
+        let mut cands: Vec<(f64, usize)> = self.entries[lo..hi]
+            .iter()
+            .map(|e| (e.rect.center().distance(point), e.id))
+            .collect();
+        cands.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        cands.truncate(k);
+        cands.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Point lookup by exact coordinates.
+    pub fn contains(&self, point: &Point) -> bool {
+        let z = z_value(point, &self.domain);
+        let mut i = self.lower_bound(z);
+        while i < self.zs.len() && self.zs[i] == z {
+            if self.entries[i].rect.center() == *point {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+
+    /// Model size in bytes (segments only).
+    pub fn size_bytes(&self) -> usize {
+        self.segments.len() * std::mem::size_of::<Segment>()
+    }
+
+    /// The ε used at build time.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{generate_points, unit_domain, SpatialDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Vec<Entry>, ZmIndex) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = generate_points(SpatialDistribution::Clustered { clusters: 6 }, n, &mut rng);
+        let zm = ZmIndex::build(pts.clone(), unit_domain(), 16);
+        (pts, zm)
+    }
+
+    #[test]
+    fn range_query_is_exact() {
+        let (pts, zm) = setup(2000, 1);
+        let q = Rect::new(Point::new(200.0, 200.0), Point::new(500.0, 450.0));
+        let (mut got, scanned) = zm.range_query(&q);
+        got.sort_unstable();
+        let mut expected: Vec<usize> = pts
+            .iter()
+            .filter(|e| q.contains_point(&e.rect.center()))
+            .map(|e| e.id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+        assert!(
+            scanned as usize >= expected.len(),
+            "scan must cover all results"
+        );
+    }
+
+    #[test]
+    fn scan_overhead_exists() {
+        // The z-interval contains false positives — the documented weakness.
+        let (_, zm) = setup(5000, 2);
+        let q = Rect::new(Point::new(450.0, 450.0), Point::new(560.0, 560.0));
+        let (got, scanned) = zm.range_query(&q);
+        assert!(
+            scanned as usize >= got.len(),
+            "scanned {scanned} < results {}",
+            got.len()
+        );
+    }
+
+    #[test]
+    fn knn_is_approximate_but_reasonable() {
+        let (pts, zm) = setup(3000, 3);
+        let p = Point::new(500.0, 500.0);
+        let k = 10;
+        let got = zm.knn_approximate(&p, k, 256);
+        assert_eq!(got.len(), k);
+        // Recall vs brute force.
+        let mut truth: Vec<(f64, usize)> =
+            pts.iter().map(|e| (e.rect.center().distance(&p), e.id)).collect();
+        truth.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let truth_ids: std::collections::BTreeSet<usize> =
+            truth[..k].iter().map(|&(_, id)| id).collect();
+        let hit = got.iter().filter(|id| truth_ids.contains(id)).count();
+        let recall = hit as f64 / k as f64;
+        // Approximate by design — the tutorial's robustness point — but a
+        // wide window should still find a fair share of the true neighbors.
+        assert!(recall >= 0.3, "recall {recall} unreasonably low");
+        assert!(recall <= 1.0);
+    }
+
+    #[test]
+    fn model_much_smaller_than_data() {
+        let (pts, zm) = setup(5000, 4);
+        let data_bytes = pts.len() * std::mem::size_of::<Entry>();
+        assert!(zm.size_bytes() * 5 < data_bytes);
+    }
+
+    #[test]
+    fn contains_finds_members() {
+        let (pts, zm) = setup(1000, 5);
+        for e in pts.iter().step_by(97) {
+            assert!(zm.contains(&e.rect.center()));
+        }
+        assert!(!zm.contains(&Point::new(-5.0, -5.0)));
+    }
+
+    #[test]
+    fn empty_index() {
+        let zm = ZmIndex::build(Vec::new(), unit_domain(), 8);
+        assert!(zm.is_empty());
+        assert_eq!(zm.range_query(&unit_domain()).0.len(), 0);
+        assert!(zm.knn_approximate(&Point::new(0.0, 0.0), 3, 8).is_empty());
+    }
+}

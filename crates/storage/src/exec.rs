@@ -1,0 +1,534 @@
+//! Physical operators with instrumented execution statistics and a
+//! deterministic simulated-latency model.
+//!
+//! Substitution note (see DESIGN.md): the surveyed systems observe real
+//! query latencies from PostgreSQL or production engines. Here every
+//! operator counts the work it does (tuples, comparisons, hash builds and
+//! probes, simulated page reads, sort operations) and latency is a fixed
+//! weighted sum of those counters ([`TRUE_WEIGHTS`]). The weights are the
+//! environment's ground truth: the formula cost model in `ml4db-plan` has
+//! its *own* tunable parameters, and recovering the true weights from
+//! observed latencies is exactly ParamTree's learning problem (E11).
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::{Row, Table, Value};
+
+/// Rows per simulated disk page.
+pub const ROWS_PER_PAGE: u64 = 64;
+
+/// Work counters accumulated by every operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Rows produced.
+    pub rows_out: u64,
+    /// Tuples touched (CPU per-tuple work).
+    pub tuples: u64,
+    /// Predicate/key comparisons.
+    pub comparisons: u64,
+    /// Hash-table insertions.
+    pub hash_builds: u64,
+    /// Hash-table probes.
+    pub hash_probes: u64,
+    /// Simulated sequential page reads.
+    pub pages_read: u64,
+    /// Simulated random page reads (index traversals).
+    pub random_pages: u64,
+    /// Sort comparisons (n log n accounted).
+    pub sort_ops: u64,
+}
+
+impl ExecStats {
+    /// Accumulates another operator's counters into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_out = other.rows_out; // the last operator defines output
+        self.tuples += other.tuples;
+        self.comparisons += other.comparisons;
+        self.hash_builds += other.hash_builds;
+        self.hash_probes += other.hash_probes;
+        self.pages_read += other.pages_read;
+        self.random_pages += other.random_pages;
+        self.sort_ops += other.sort_ops;
+    }
+
+    /// Simulated latency in microseconds under the given weights.
+    pub fn latency_us(&self, w: &CostWeights) -> f64 {
+        self.tuples as f64 * w.cpu_tuple
+            + self.comparisons as f64 * w.cpu_compare
+            + self.hash_builds as f64 * w.hash_build
+            + self.hash_probes as f64 * w.hash_probe
+            + self.pages_read as f64 * w.seq_page
+            + self.random_pages as f64 * w.random_page
+            + self.sort_ops as f64 * w.sort_op
+    }
+}
+
+/// Per-unit work weights (microseconds per unit).
+///
+/// These are the **R-params** of the tutorial's ParamTree discussion \[50\]:
+/// PostgreSQL exposes the same knobs as `seq_page_cost`,
+/// `random_page_cost`, `cpu_tuple_cost`, ... The executor uses
+/// [`TRUE_WEIGHTS`]; cost models start from [`CostWeights::postgres_defaults`]
+/// (deliberately mis-calibrated, as in real deployments) and ParamTree
+/// learns the truth from observed latencies.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Cost per sequential page read.
+    pub seq_page: f64,
+    /// Cost per random page read.
+    pub random_page: f64,
+    /// Cost per tuple of CPU work.
+    pub cpu_tuple: f64,
+    /// Cost per comparison.
+    pub cpu_compare: f64,
+    /// Cost per hash-table insertion.
+    pub hash_build: f64,
+    /// Cost per hash-table probe.
+    pub hash_probe: f64,
+    /// Cost per sort comparison.
+    pub sort_op: f64,
+}
+
+impl CostWeights {
+    /// PostgreSQL-flavored default ratios (the mis-calibrated starting
+    /// point a DBA ships with).
+    pub fn postgres_defaults() -> Self {
+        Self {
+            seq_page: 1.0,
+            random_page: 4.0,
+            cpu_tuple: 0.01,
+            cpu_compare: 0.005,
+            hash_build: 0.02,
+            hash_probe: 0.01,
+            sort_op: 0.01,
+        }
+    }
+}
+
+/// The environment's ground-truth weights (µs per unit). Note the ratios
+/// differ from the defaults: random pages are comparatively cheaper (fast
+/// storage) and hashing comparatively more expensive, which is what a tuned
+/// cost model must discover.
+pub const TRUE_WEIGHTS: CostWeights = CostWeights {
+    seq_page: 2.0,
+    random_page: 3.0,
+    cpu_tuple: 0.02,
+    cpu_compare: 0.004,
+    hash_build: 0.08,
+    hash_probe: 0.03,
+    sort_op: 0.02,
+};
+
+/// Comparison operator of a base-table predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+/// A predicate `column <op> value` over a row layout.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Column offset within the row.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Comparison constant.
+    pub value: f64,
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a row.
+    #[inline]
+    pub fn eval(&self, row: &[Value]) -> bool {
+        let v = row[self.column].as_f64();
+        match self.op {
+            CmpOp::Eq => v == self.value,
+            CmpOp::Lt => v < self.value,
+            CmpOp::Le => v <= self.value,
+            CmpOp::Gt => v > self.value,
+            CmpOp::Ge => v >= self.value,
+        }
+    }
+}
+
+/// Sequential scan with pushed-down predicates.
+pub fn seq_scan(table: &Table, predicates: &[Predicate]) -> (Vec<Row>, ExecStats) {
+    let n = table.num_rows();
+    let mut out = Vec::new();
+    let mut stats = ExecStats {
+        tuples: n as u64,
+        pages_read: (n as u64).div_ceil(ROWS_PER_PAGE),
+        comparisons: 0,
+        ..Default::default()
+    };
+    for i in 0..n {
+        let row = table.row(i);
+        let mut keep = true;
+        for p in predicates {
+            stats.comparisons += 1;
+            if !p.eval(&row) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            out.push(row);
+        }
+    }
+    stats.rows_out = out.len() as u64;
+    (out, stats)
+}
+
+/// Index scan: returns rows whose `column` value lies in `[lo, hi]`,
+/// assuming an ordered auxiliary index exists (the caller guarantees it).
+///
+/// Cost model: one random page per index level plus one random page per
+/// matching `ROWS_PER_PAGE` rows (unclustered access), plus per-tuple CPU
+/// for the matches and residual predicate evaluation.
+pub fn index_scan(
+    table: &Table,
+    column: usize,
+    lo: f64,
+    hi: f64,
+    residual: &[Predicate],
+) -> (Vec<Row>, ExecStats) {
+    let n = table.num_rows();
+    let col = &table.columns[column];
+    let mut out = Vec::new();
+    let mut stats = ExecStats::default();
+    // Simulated B+Tree descent.
+    stats.random_pages += (n.max(2) as f64).log2().ceil() as u64 / 4 + 1;
+    for i in 0..n {
+        let v = col.get_f64(i);
+        if v >= lo && v <= hi {
+            stats.tuples += 1;
+            let row = table.row(i);
+            let mut keep = true;
+            for p in residual {
+                stats.comparisons += 1;
+                if !p.eval(&row) {
+                    keep = false;
+                    break;
+                }
+            }
+            if keep {
+                out.push(row);
+            }
+        }
+    }
+    stats.random_pages += (stats.tuples).div_ceil(ROWS_PER_PAGE);
+    stats.rows_out = out.len() as u64;
+    (out, stats)
+}
+
+/// Nested-loop equi-join: compares every pair.
+pub fn nested_loop_join(
+    left: &[Row],
+    right: &[Row],
+    left_col: usize,
+    right_col: usize,
+) -> (Vec<Row>, ExecStats) {
+    let mut out = Vec::new();
+    let mut stats = ExecStats {
+        comparisons: (left.len() * right.len()) as u64,
+        tuples: (left.len() + right.len()) as u64,
+        ..Default::default()
+    };
+    for l in left {
+        let lk = l[left_col].hash_key();
+        for r in right {
+            if lk == r[right_col].hash_key() {
+                let mut row = l.clone();
+                row.extend_from_slice(r);
+                out.push(row);
+            }
+        }
+    }
+    stats.rows_out = out.len() as u64;
+    stats.tuples += out.len() as u64;
+    (out, stats)
+}
+
+/// Hash equi-join: builds on the right input, probes with the left.
+pub fn hash_join(
+    left: &[Row],
+    right: &[Row],
+    left_col: usize,
+    right_col: usize,
+) -> (Vec<Row>, ExecStats) {
+    let mut table: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, r) in right.iter().enumerate() {
+        table.entry(r[right_col].hash_key()).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for l in left {
+        if let Some(matches) = table.get(&l[left_col].hash_key()) {
+            for &ri in matches {
+                let mut row = l.clone();
+                row.extend_from_slice(&right[ri]);
+                out.push(row);
+            }
+        }
+    }
+    let stats = ExecStats {
+        hash_builds: right.len() as u64,
+        hash_probes: left.len() as u64,
+        tuples: (left.len() + right.len() + out.len()) as u64,
+        rows_out: out.len() as u64,
+        ..Default::default()
+    };
+    (out, stats)
+}
+
+/// Sort-merge equi-join.
+pub fn sort_merge_join(
+    left: &[Row],
+    right: &[Row],
+    left_col: usize,
+    right_col: usize,
+) -> (Vec<Row>, ExecStats) {
+    let nlogn = |n: usize| -> u64 {
+        if n <= 1 {
+            n as u64
+        } else {
+            (n as f64 * (n as f64).log2()).ceil() as u64
+        }
+    };
+    let mut l_sorted: Vec<&Row> = left.iter().collect();
+    let mut r_sorted: Vec<&Row> = right.iter().collect();
+    l_sorted.sort_by(|a, b| {
+        a[left_col]
+            .as_f64()
+            .partial_cmp(&b[left_col].as_f64())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    r_sorted.sort_by(|a, b| {
+        a[right_col]
+            .as_f64()
+            .partial_cmp(&b[right_col].as_f64())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = Vec::new();
+    let mut comparisons = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < l_sorted.len() && j < r_sorted.len() {
+        comparisons += 1;
+        let lk = l_sorted[i][left_col].as_f64();
+        let rk = r_sorted[j][right_col].as_f64();
+        if lk < rk {
+            i += 1;
+        } else if lk > rk {
+            j += 1;
+        } else {
+            // Emit the cross product of the equal runs.
+            let mut j_end = j;
+            while j_end < r_sorted.len() && r_sorted[j_end][right_col].as_f64() == lk {
+                j_end += 1;
+            }
+            let mut i_run = i;
+            while i_run < l_sorted.len() && l_sorted[i_run][left_col].as_f64() == lk {
+                for r in &r_sorted[j..j_end] {
+                    let mut row = l_sorted[i_run].clone();
+                    row.extend_from_slice(r);
+                    out.push(row);
+                }
+                i_run += 1;
+            }
+            i = i_run;
+            j = j_end;
+        }
+    }
+    let stats = ExecStats {
+        sort_ops: nlogn(left.len()) + nlogn(right.len()),
+        comparisons,
+        tuples: (left.len() + right.len() + out.len()) as u64,
+        rows_out: out.len() as u64,
+        ..Default::default()
+    };
+    (out, stats)
+}
+
+/// Filters materialized rows.
+pub fn filter(rows: Vec<Row>, predicates: &[Predicate]) -> (Vec<Row>, ExecStats) {
+    let mut stats = ExecStats { tuples: rows.len() as u64, ..Default::default() };
+    let out: Vec<Row> = rows
+        .into_iter()
+        .filter(|row| {
+            predicates.iter().all(|p| {
+                stats.comparisons += 1;
+                p.eval(row)
+            })
+        })
+        .collect();
+    stats.rows_out = out.len() as u64;
+    (out, stats)
+}
+
+/// Hash aggregation: COUNT(*) per group key (or global count when
+/// `group_col` is `None`). Returns `[group_key?, count]` rows.
+pub fn hash_aggregate(rows: &[Row], group_col: Option<usize>) -> (Vec<Row>, ExecStats) {
+    let mut stats = ExecStats {
+        tuples: rows.len() as u64,
+        hash_builds: rows.len() as u64,
+        ..Default::default()
+    };
+    let out = match group_col {
+        None => vec![vec![Value::Int(rows.len() as i64)]],
+        Some(c) => {
+            let mut groups: std::collections::BTreeMap<u64, (Value, i64)> =
+                std::collections::BTreeMap::new();
+            for r in rows {
+                let e = groups.entry(r[c].hash_key()).or_insert((r[c], 0));
+                e.1 += 1;
+            }
+            groups.into_values().map(|(v, c)| vec![v, Value::Int(c)]).collect()
+        }
+    };
+    stats.rows_out = out.len() as u64;
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnData, DataType, Schema};
+    use proptest::prelude::*;
+
+    fn table_ab() -> Table {
+        Table::new(
+            "t",
+            Schema::new(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![
+                ColumnData::Int((0..100).collect()),
+                ColumnData::Int((0..100).map(|i| i % 10).collect()),
+            ],
+        )
+    }
+
+    #[test]
+    fn seq_scan_filters() {
+        let t = table_ab();
+        let (rows, stats) = seq_scan(
+            &t,
+            &[Predicate { column: 1, op: CmpOp::Eq, value: 3.0 }],
+        );
+        assert_eq!(rows.len(), 10);
+        assert_eq!(stats.rows_out, 10);
+        assert_eq!(stats.tuples, 100);
+        assert!(stats.pages_read >= 1);
+    }
+
+    #[test]
+    fn index_scan_matches_seq_scan() {
+        // Large table, selective range: the regime where an index scan wins.
+        let t = Table::new(
+            "big",
+            Schema::new(&[("a", DataType::Int)]),
+            vec![ColumnData::Int((0..20_000).collect())],
+        );
+        let (idx_rows, idx_stats) = index_scan(&t, 0, 20.0, 30.0, &[]);
+        let (seq_rows, seq_stats) = seq_scan(
+            &t,
+            &[
+                Predicate { column: 0, op: CmpOp::Ge, value: 20.0 },
+                Predicate { column: 0, op: CmpOp::Le, value: 30.0 },
+            ],
+        );
+        assert_eq!(idx_rows, seq_rows);
+        // Selective index scan should cost less than the full scan under
+        // the true weights.
+        assert!(
+            idx_stats.latency_us(&TRUE_WEIGHTS) < seq_stats.latency_us(&TRUE_WEIGHTS),
+            "index {} !< seq {}",
+            idx_stats.latency_us(&TRUE_WEIGHTS),
+            seq_stats.latency_us(&TRUE_WEIGHTS)
+        );
+    }
+
+    #[test]
+    fn joins_agree() {
+        let left: Vec<Row> = (0..50).map(|i| vec![Value::Int(i % 7), Value::Int(i)]).collect();
+        let right: Vec<Row> = (0..30).map(|i| vec![Value::Int(i % 5), Value::Int(i)]).collect();
+        let (nl, _) = nested_loop_join(&left, &right, 0, 0);
+        let (mut hj, _) = hash_join(&left, &right, 0, 0);
+        let (mut smj, _) = sort_merge_join(&left, &right, 0, 0);
+        let key = |r: &Row| (r[1].as_i64(), r[3].as_i64());
+        let mut nl_sorted = nl.clone();
+        nl_sorted.sort_by_key(|r| key(r));
+        hj.sort_by_key(|r| key(r));
+        smj.sort_by_key(|r| key(r));
+        assert_eq!(nl_sorted, hj, "hash join disagrees with nested loop");
+        assert_eq!(nl_sorted, smj, "merge join disagrees with nested loop");
+    }
+
+    #[test]
+    fn join_cost_shapes() {
+        // Large x large: nested loop must be far more expensive than hash.
+        let left: Vec<Row> = (0..500).map(|i| vec![Value::Int(i % 50)]).collect();
+        let right: Vec<Row> = (0..500).map(|i| vec![Value::Int(i % 50)]).collect();
+        let (_, nl) = nested_loop_join(&left, &right, 0, 0);
+        let (_, hj) = hash_join(&left, &right, 0, 0);
+        assert!(nl.latency_us(&TRUE_WEIGHTS) > 5.0 * hj.latency_us(&TRUE_WEIGHTS));
+        // Tiny inner: nested loop can win (no build cost).
+        let tiny: Vec<Row> = vec![vec![Value::Int(1)]];
+        let (_, nl2) = nested_loop_join(&tiny, &tiny, 0, 0);
+        let (_, hj2) = hash_join(&tiny, &tiny, 0, 0);
+        assert!(nl2.latency_us(&TRUE_WEIGHTS) <= hj2.latency_us(&TRUE_WEIGHTS));
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let rows: Vec<Row> = (0..20).map(|i| vec![Value::Int(i % 4)]).collect();
+        let (groups, _) = hash_aggregate(&rows, Some(0));
+        assert_eq!(groups.len(), 4);
+        for g in &groups {
+            assert_eq!(g[1], Value::Int(5));
+        }
+        let (global, _) = hash_aggregate(&rows, None);
+        assert_eq!(global, vec![vec![Value::Int(20)]]);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats { tuples: 10, rows_out: 5, ..Default::default() };
+        let b = ExecStats { tuples: 7, rows_out: 3, comparisons: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.tuples, 17);
+        assert_eq!(a.comparisons, 2);
+        assert_eq!(a.rows_out, 3, "rows_out reflects the downstream operator");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// All three join algorithms produce identical multisets of rows.
+        #[test]
+        fn join_equivalence(
+            lkeys in proptest::collection::vec(0i64..20, 0..60),
+            rkeys in proptest::collection::vec(0i64..20, 0..60),
+        ) {
+            let left: Vec<Row> = lkeys.iter().enumerate()
+                .map(|(i, &k)| vec![Value::Int(k), Value::Int(i as i64)]).collect();
+            let right: Vec<Row> = rkeys.iter().enumerate()
+                .map(|(i, &k)| vec![Value::Int(k), Value::Int(1000 + i as i64)]).collect();
+            let sort_key = |r: &Row| (r[1].as_i64(), r[3].as_i64());
+            let (mut nl, _) = nested_loop_join(&left, &right, 0, 0);
+            let (mut hj, _) = hash_join(&left, &right, 0, 0);
+            let (mut smj, _) = sort_merge_join(&left, &right, 0, 0);
+            nl.sort_by_key(sort_key);
+            hj.sort_by_key(sort_key);
+            smj.sort_by_key(sort_key);
+            prop_assert_eq!(&nl, &hj);
+            prop_assert_eq!(&nl, &smj);
+        }
+    }
+}

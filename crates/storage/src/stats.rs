@@ -1,0 +1,276 @@
+//! Database statistics: equi-depth histograms, most-common values, distinct
+//! counts, and reservoir samples — the "database statistics" feature family
+//! of the query-plan-representation foundation (§3.1) and the inputs of the
+//! classical cardinality estimator.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::table::{ColumnData, Table};
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+/// Number of most-common values tracked.
+pub const MCV_ENTRIES: usize = 8;
+/// Reservoir sample size.
+pub const SAMPLE_SIZE: usize = 100;
+
+/// An equi-depth histogram over a numeric column.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Ascending bucket boundaries; bucket `i` covers
+    /// `[bounds[i], bounds[i+1])` (last bucket inclusive).
+    pub bounds: Vec<f64>,
+    /// Rows per bucket (equi-depth: roughly equal).
+    pub counts: Vec<u64>,
+    /// Total rows.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram from column values.
+    pub fn build(values: &[f64], buckets: usize) -> Self {
+        let total = values.len() as u64;
+        if values.is_empty() {
+            return Self { bounds: vec![0.0, 0.0], counts: vec![0], total: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let buckets = buckets.clamp(1, sorted.len());
+        let per = sorted.len() as f64 / buckets as f64;
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        let mut counts = Vec::with_capacity(buckets);
+        bounds.push(sorted[0]);
+        let mut prev_idx = 0usize;
+        for b in 1..=buckets {
+            let idx = ((b as f64 * per).round() as usize).clamp(prev_idx + 1, sorted.len());
+            let bound = if idx >= sorted.len() {
+                sorted[sorted.len() - 1]
+            } else {
+                sorted[idx]
+            };
+            bounds.push(bound);
+            counts.push((idx - prev_idx) as u64);
+            prev_idx = idx;
+            if prev_idx >= sorted.len() {
+                break;
+            }
+        }
+        // Merge any leftover tail into the last bucket.
+        if prev_idx < sorted.len() {
+            *counts.last_mut().expect("non-empty") += (sorted.len() - prev_idx) as u64;
+            *bounds.last_mut().expect("non-empty") = sorted[sorted.len() - 1];
+        }
+        Self { bounds, counts, total }
+    }
+
+    /// Estimated selectivity of `value <= x` (CDF), in `[0, 1]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x >= hi {
+                acc += count;
+            } else if x >= lo {
+                let frac = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+                acc += (count as f64 * frac) as u64;
+                break;
+            } else {
+                break;
+            }
+        }
+        (acc as f64 / self.total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `lo <= value <= hi`.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if lo > hi {
+            return 0.0;
+        }
+        (self.cdf(hi) - self.cdf(lo) + self.eq_selectivity(lo)).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of `value = x` (uniform within bucket).
+    pub fn eq_selectivity(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        for (i, &count) in self.counts.iter().enumerate() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            let last = i + 1 == self.counts.len();
+            if x >= lo && (x < hi || (last && x <= hi)) {
+                // Assume ~uniform distinct values inside the bucket; use a
+                // conservative per-bucket distinct guess.
+                let width = (hi - lo).max(1.0);
+                let sel = count as f64 / self.total as f64 / width.min(count as f64).max(1.0);
+                return sel.clamp(0.0, 1.0);
+            }
+        }
+        0.0
+    }
+
+    /// Domain minimum.
+    pub fn min(&self) -> f64 {
+        *self.bounds.first().expect("bounds non-empty")
+    }
+
+    /// Domain maximum.
+    pub fn max(&self) -> f64 {
+        *self.bounds.last().expect("bounds non-empty")
+    }
+}
+
+/// Per-column statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Equi-depth histogram.
+    pub histogram: Histogram,
+    /// `(value, frequency)` of the most common values, descending.
+    pub mcv: Vec<(f64, u64)>,
+    /// Exact distinct count.
+    pub distinct: u64,
+    /// Uniform sample of values.
+    pub sample: Vec<f64>,
+}
+
+impl ColumnStats {
+    /// Computes statistics for one column.
+    pub fn build<R: Rng + ?Sized>(col: &ColumnData, rng: &mut R) -> Self {
+        let values: Vec<f64> = (0..col.len()).map(|i| col.get_f64(i)).collect();
+        let histogram = Histogram::build(&values, HISTOGRAM_BUCKETS);
+        // Frequencies (on the f64 bit pattern; columns are well-behaved).
+        let mut freq = std::collections::HashMap::new();
+        for &v in &values {
+            *freq.entry(v.to_bits()).or_insert(0u64) += 1;
+        }
+        let distinct = freq.len() as u64;
+        let mut mcv: Vec<(f64, u64)> =
+            freq.into_iter().map(|(bits, c)| (f64::from_bits(bits), c)).collect();
+        mcv.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)));
+        mcv.truncate(MCV_ENTRIES);
+        // Reservoir sample.
+        let mut sample = Vec::with_capacity(SAMPLE_SIZE.min(values.len()));
+        for (i, &v) in values.iter().enumerate() {
+            if sample.len() < SAMPLE_SIZE {
+                sample.push(v);
+            } else {
+                let j = rng.gen_range(0..=i);
+                if j < SAMPLE_SIZE {
+                    sample[j] = v;
+                }
+            }
+        }
+        Self { histogram, mcv, distinct, sample }
+    }
+}
+
+/// Table-level statistics.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column stats, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Computes statistics for every column of a table.
+    pub fn build<R: Rng + ?Sized>(table: &Table, rng: &mut R) -> Self {
+        Self {
+            rows: table.num_rows() as u64,
+            columns: table.columns.iter().map(|c| ColumnStats::build(c, rng)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn histogram_uniform_cdf() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 16);
+        assert!((h.cdf(500.0) - 0.5).abs() < 0.05);
+        assert!(h.cdf(-1.0) < 0.01);
+        assert!(h.cdf(2000.0) > 0.99);
+    }
+
+    #[test]
+    fn histogram_equi_depth_on_skew() {
+        // Heavy skew: equi-depth buckets get narrower near the mode.
+        let mut values = vec![0.0f64; 900];
+        values.extend((1..=100).map(|i| i as f64 * 10.0));
+        let h = Histogram::build(&values, 10);
+        // 90% of mass at 0 → CDF at tiny epsilon is already large.
+        assert!(h.cdf(0.5) > 0.5, "cdf(0.5) = {}", h.cdf(0.5));
+    }
+
+    #[test]
+    fn range_selectivity_sane() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 100) as f64).collect();
+        let h = Histogram::build(&values, 20);
+        let sel = h.range_selectivity(10.0, 19.0);
+        assert!((sel - 0.1).abs() < 0.07, "sel {sel}");
+        assert_eq!(h.range_selectivity(50.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::build(&[], 8);
+        assert_eq!(h.cdf(0.0), 0.0);
+        assert_eq!(h.range_selectivity(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn column_stats_mcv_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let col = ColumnData::Int(vec![1, 1, 1, 2, 2, 3]);
+        let s = ColumnStats::build(&col, &mut rng);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.mcv[0], (1.0, 3));
+        assert_eq!(s.mcv[1], (2.0, 2));
+    }
+
+    #[test]
+    fn sample_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let col = ColumnData::Int((0..10_000).collect());
+        let s = ColumnStats::build(&col, &mut rng);
+        assert_eq!(s.sample.len(), SAMPLE_SIZE);
+    }
+
+    proptest! {
+        /// CDF is monotone and bounded in [0,1] for arbitrary data.
+        #[test]
+        fn cdf_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let h = Histogram::build(&values, 16);
+            let mut probes: Vec<f64> = values.clone();
+            probes.push(-2e6);
+            probes.push(2e6);
+            probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = -1.0;
+            for &p in &probes {
+                let c = h.cdf(p);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c + 1e-9 >= prev, "cdf not monotone at {p}: {c} < {prev}");
+                prev = c;
+            }
+        }
+
+        /// Bucket counts sum to the row count.
+        #[test]
+        fn counts_sum(values in proptest::collection::vec(-1e3f64..1e3, 1..300)) {
+            let h = Histogram::build(&values, 8);
+            prop_assert_eq!(h.counts.iter().sum::<u64>(), values.len() as u64);
+        }
+    }
+}

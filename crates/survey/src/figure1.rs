@@ -1,0 +1,129 @@
+//! Figure 1 regeneration: publications per year × problem × paradigm, and
+//! the statistic the figure supports — the shift from the "replacement" to
+//! the "ML-enhanced" paradigm.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::{corpus, Paradigm, Problem, Publication};
+
+/// One bar of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Publication year.
+    pub year: u16,
+    /// Problem area.
+    pub problem: Problem,
+    /// Paradigm.
+    pub paradigm: Paradigm,
+    /// Number of surveyed publications.
+    pub count: usize,
+}
+
+/// The full Figure 1 series, ordered by (problem, paradigm, year).
+pub fn figure1_series() -> Vec<TrendPoint> {
+    figure1_from(&corpus())
+}
+
+/// Aggregates an arbitrary publication list into the Figure 1 series.
+pub fn figure1_from(publications: &[Publication]) -> Vec<TrendPoint> {
+    let mut out = Vec::new();
+    for problem in [Problem::Index, Problem::QueryOptimizer] {
+        for paradigm in [Paradigm::Replacement, Paradigm::MlEnhanced] {
+            for year in 2018..=2023u16 {
+                let count = publications
+                    .iter()
+                    .filter(|p| p.problem == problem && p.paradigm == paradigm && p.year == year)
+                    .count();
+                out.push(TrendPoint { year, problem, paradigm, count });
+            }
+        }
+    }
+    out
+}
+
+/// The paradigm-shift statistic: per paradigm, the share of its
+/// publications falling in the late window (2021–2023). Figure 1's claim is
+/// `late_share(MlEnhanced) > late_share(Replacement)` — ML-enhanced work
+/// concentrates late, replacement work early.
+pub fn late_share(series: &[TrendPoint], paradigm: Paradigm) -> f64 {
+    let total: usize =
+        series.iter().filter(|p| p.paradigm == paradigm).map(|p| p.count).sum();
+    let late: usize = series
+        .iter()
+        .filter(|p| p.paradigm == paradigm && p.year >= 2021)
+        .map(|p| p.count)
+        .sum();
+    if total == 0 {
+        0.0
+    } else {
+        late as f64 / total as f64
+    }
+}
+
+/// Renders the series as the rows the paper's figure plots (for the bench
+/// output and EXPERIMENTS.md).
+pub fn render_figure1(series: &[TrendPoint]) -> String {
+    let mut out = String::from("year  index-repl  index-enh  qo-repl  qo-enh\n");
+    for year in 2018..=2023u16 {
+        let get = |problem, paradigm| {
+            series
+                .iter()
+                .find(|p| p.year == year && p.problem == problem && p.paradigm == paradigm)
+                .map_or(0, |p| p.count)
+        };
+        out.push_str(&format!(
+            "{year}  {:>10}  {:>9}  {:>7}  {:>6}\n",
+            get(Problem::Index, Paradigm::Replacement),
+            get(Problem::Index, Paradigm::MlEnhanced),
+            get(Problem::QueryOptimizer, Paradigm::Replacement),
+            get(Problem::QueryOptimizer, Paradigm::MlEnhanced),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_counts_match_corpus_size() {
+        let series = figure1_series();
+        let total: usize = series.iter().map(|p| p.count).sum();
+        assert_eq!(total, corpus().len());
+    }
+
+    #[test]
+    fn figure1_shape_shift_to_ml_enhanced() {
+        // The tutorial's observation: a noticeable shift from replacement
+        // to ML-enhanced.
+        let series = figure1_series();
+        let enh = late_share(&series, Paradigm::MlEnhanced);
+        let repl = late_share(&series, Paradigm::Replacement);
+        assert!(
+            enh > repl + 0.2,
+            "ML-enhanced late share {enh} vs replacement {repl}: no visible shift"
+        );
+    }
+
+    #[test]
+    fn early_years_dominated_by_replacement() {
+        let series = figure1_series();
+        let early = |paradigm| -> usize {
+            series
+                .iter()
+                .filter(|p| p.paradigm == paradigm && p.year <= 2020)
+                .map(|p| p.count)
+                .sum()
+        };
+        assert!(early(Paradigm::Replacement) > early(Paradigm::MlEnhanced));
+    }
+
+    #[test]
+    fn render_contains_all_years() {
+        let text = render_figure1(&figure1_series());
+        for year in 2018..=2023 {
+            assert!(text.contains(&year.to_string()));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # ml4db-survey — the tutorial's own evaluation artifacts
+//!
+//! The paper's two artifacts are a literature statistic and a taxonomy:
+//!
+//! * **Figure 1** — SIGMOD/VLDB publication counts since 2018 on ML for
+//!   indexes and query optimizers, by paradigm. [`mod@corpus`] holds the
+//!   reconstructed machine-readable bibliography; [`figure1`] aggregates
+//!   it and exposes the paradigm-shift statistic the figure supports.
+//! * **Table 1** — the summary of query-plan representation methods.
+//!   [`mod@table1`] reproduces the ten rows verbatim and cross-links each to
+//!   the implementing tree model in `ml4db-repr`.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod figure1;
+pub mod table1;
+
+pub use corpus::{corpus, Paradigm, Problem, Publication};
+pub use figure1::{figure1_from, figure1_series, late_share, render_figure1, TrendPoint};
+pub use table1::{render_table1, table1, Table1Row};

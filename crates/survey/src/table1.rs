@@ -1,0 +1,154 @@
+//! Table 1 of the tutorial: the summary of query-plan representation
+//! methods in ML4DB studies — method, application, and tree model — with
+//! each tree-model label cross-linked to the implementing strategy in
+//! `ml4db-repr` (the link is verified by an integration test).
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Method name as printed in the paper.
+    pub method: &'static str,
+    /// Paper citation key (tutorial reference number).
+    pub reference: &'static str,
+    /// Application column.
+    pub application: &'static str,
+    /// Tree-model column as printed.
+    pub tree_model: &'static str,
+    /// The `ml4db_repr::TreeModelKind::label()` implementing this row
+    /// (`None` only if the workspace had no implementation — it never is).
+    pub implementation: &'static str,
+}
+
+/// The ten rows of Table 1, verbatim from the tutorial.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            method: "AVGDL",
+            reference: "[53]",
+            application: "View Selection",
+            tree_model: "LSTM",
+            implementation: "dfs-lstm",
+        },
+        Table1Row {
+            method: "AIMeetsAI",
+            reference: "[5]",
+            application: "Index Selection",
+            tree_model: "Feature Vector",
+            implementation: "flat",
+        },
+        Table1Row {
+            method: "ReJOIN",
+            reference: "[30]",
+            application: "Join Order Selection",
+            tree_model: "Feature Vector",
+            implementation: "flat",
+        },
+        Table1Row {
+            method: "BAO",
+            reference: "[27]",
+            application: "Optimizer",
+            tree_model: "TreeCNN",
+            implementation: "tree-cnn",
+        },
+        Table1Row {
+            method: "NEO",
+            reference: "[28]",
+            application: "Optimizer",
+            tree_model: "TreeCNN",
+            implementation: "tree-cnn",
+        },
+        Table1Row {
+            method: "Prestroid",
+            reference: "[14]",
+            application: "Cost Estimation",
+            tree_model: "TreeCNN",
+            implementation: "tree-cnn",
+        },
+        Table1Row {
+            method: "E2E-Cost",
+            reference: "[38]",
+            application: "Cost/Card Estimation",
+            tree_model: "TreeLSTM",
+            implementation: "tree-lstm",
+        },
+        Table1Row {
+            method: "RTOS",
+            reference: "[52]",
+            application: "Join Order Selection",
+            tree_model: "TreeLSTM",
+            implementation: "tree-lstm",
+        },
+        Table1Row {
+            method: "Plan-Cost",
+            reference: "[29]",
+            application: "Cost Estimation",
+            tree_model: "TreeRNN",
+            implementation: "tree-lstm",
+        },
+        Table1Row {
+            method: "QueryFormer",
+            reference: "[56]",
+            application: "General Purpose",
+            tree_model: "Transformer",
+            implementation: "transformer",
+        },
+    ]
+}
+
+/// Renders the table as printed in the paper (plus the implementation
+/// column this workspace adds).
+pub fn render_table1() -> String {
+    let mut out =
+        String::from("| Method | Application | Tree Model | Implemented by |\n|---|---|---|---|\n");
+    for row in table1() {
+        out.push_str(&format!(
+            "| {} {} | {} | {} | {} |\n",
+            row.method, row.reference, row.application, row.tree_model, row.implementation
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows_as_in_the_paper() {
+        assert_eq!(table1().len(), 10);
+    }
+
+    #[test]
+    fn every_row_has_an_implementation() {
+        let valid = ["flat", "dfs-lstm", "tree-cnn", "tree-lstm", "transformer"];
+        for row in table1() {
+            assert!(
+                valid.contains(&row.implementation),
+                "{}: unknown implementation {}",
+                row.method,
+                row.implementation
+            );
+        }
+    }
+
+    #[test]
+    fn tree_model_families_match_paper() {
+        let t = table1();
+        let count = |m: &str| t.iter().filter(|r| r.tree_model == m).count();
+        assert_eq!(count("TreeCNN"), 3);
+        assert_eq!(count("TreeLSTM"), 2);
+        assert_eq!(count("Feature Vector"), 2);
+        assert_eq!(count("LSTM"), 1);
+        assert_eq!(count("TreeRNN"), 1);
+        assert_eq!(count("Transformer"), 1);
+    }
+
+    #[test]
+    fn render_is_markdown_table() {
+        let text = render_table1();
+        assert!(text.lines().count() == 12);
+        assert!(text.contains("QueryFormer"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Open problems in action (E14/E15): model efficiency — the NNGP trains
+//! in milliseconds where the MLP needs epochs — and data-drift handling
+//! with detection, Warper-style fast adaptation, and DDUp-style
+//! distillation.
+//!
+//! ```bash
+//! cargo run --release --example drift_and_efficiency
+//! ```
+
+use ml4db_core::card::{collect_samples, CardSample, DriftDetector, MscnEstimator, NngpEstimator, WarperAdapter};
+use ml4db_core::prelude::*;
+use ml4db_core::storage::datasets::{joblite, DatasetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn single_table_workload(lo_year: i64, n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            Query::new(&["title"])
+                .filter(0, "year", CmpOp::Ge, (lo_year + (i as i64 * 7) % 25) as f64)
+                .filter(0, "votes", CmpOp::Ge, (1000 + (i * 577) % 6000) as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+
+    // == E14: model efficiency ==
+    let db = Database::analyze(
+        joblite(&DatasetConfig { base_rows: 800, skew: 0.3, correlation: 0.85 }, &mut rng),
+        &mut rng,
+    );
+    let train = single_table_workload(1985, 50);
+    let samples = collect_samples(&db, &train);
+    println!("== model efficiency (E14): {} training samples ==", samples.len());
+
+    let t0 = std::time::Instant::now();
+    let mut mscn = MscnEstimator::new(32, &mut rng);
+    mscn.fit(&db, &samples, 60, 0.005, &mut rng);
+    let mscn_time = t0.elapsed();
+
+    let mut nngp = NngpEstimator::new();
+    let nngp_time = nngp.fit(&db, &samples);
+
+    let oracle = TrueCardinality::new();
+    let test = single_table_workload(1990, 20);
+    let qerr = |est: &dyn CardEstimator| -> f64 {
+        let errs: Vec<f64> = test
+            .iter()
+            .map(|q| {
+                ml4db_core::nn::metrics::q_error(est.estimate(&db, q, 1), oracle.estimate(&db, q, 1))
+            })
+            .collect();
+        ml4db_core::nn::metrics::q_error_summary(&errs).expect("non-empty").median
+    };
+    println!("  mscn (mlp):  trained in {mscn_time:?}, median q-error {:.2}", qerr(&mscn));
+    println!("  nngp:        trained in {nngp_time:?}, median q-error {:.2}", qerr(&nngp));
+    println!("  classic:     no training,   median q-error {:.2}", qerr(&ClassicEstimator));
+
+    // == E15: drift ==
+    println!("\n== drift handling (E15) ==");
+    // The data changes: a new database instance with a different regime.
+    let drifted_db = Database::analyze(
+        joblite(&DatasetConfig { base_rows: 800, skew: 1.4, correlation: 0.1 }, &mut rng),
+        &mut rng,
+    );
+    let drift_oracle = TrueCardinality::new();
+    let mut detector = DriftDetector::new(15, 0.45);
+    let mut warper = WarperAdapter::new(64);
+    let stream = single_table_workload(1985, 90);
+    let mut detected_at = None;
+    for (i, q) in stream.iter().enumerate() {
+        // After query 45 the workload hits the drifted database.
+        let active_db = if i < 45 { &db } else { &drifted_db };
+        let truth = drift_oracle.estimate(active_db, q, 1);
+        let est = mscn.estimate(active_db, q, 1);
+        let err = ml4db_core::nn::metrics::q_error(est, truth).ln();
+        warper.record(CardSample { query: q.clone(), mask: 1, card: truth });
+        if detector.observe(err) && detected_at.is_none() {
+            detected_at = Some(i);
+            println!("  drift detected at query {i} (true onset: 45)");
+            // Warper-style fast adaptation on the recent window.
+            warper.adapt(&drifted_db, &mut mscn, 30, &mut rng);
+            detector.reset();
+            println!("  adapted on {} recent samples", warper.buffer.len());
+        }
+    }
+    match detected_at {
+        Some(_) => {
+            let errs: Vec<f64> = single_table_workload(1992, 15)
+                .iter()
+                .map(|q| {
+                    ml4db_core::nn::metrics::q_error(
+                        mscn.estimate(&drifted_db, q, 1),
+                        drift_oracle.estimate(&drifted_db, q, 1),
+                    )
+                })
+                .collect();
+            let summary = ml4db_core::nn::metrics::q_error_summary(&errs).expect("non-empty");
+            println!("  post-adaptation median q-error on the new regime: {:.2}", summary.median);
+        }
+        None => println!("  (no drift detected — rerun with a stronger shift)"),
+    }
+}

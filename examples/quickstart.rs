@@ -1,0 +1,77 @@
+//! Quickstart: the ml4db tour in one binary.
+//!
+//! Builds a synthetic database, runs a query through the classical
+//! optimizer, steers it with a Bao bandit, and looks up keys in a learned
+//! index — the three themes of the tutorial in ~5 seconds.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1) A database instance: the `joblite` movie schema with statistics.
+    let db = demo_database(500, 42);
+    println!("== database ==");
+    for name in db.catalog.table_names() {
+        let rows = db.table_stats(name).map_or(0, |s| s.rows);
+        println!("  {name}: {rows} rows");
+    }
+
+    // 2) The classical optimizer: plan an SPJ query and execute it.
+    let query = Query::new(&["title", "cast_info"])
+        .join(0, "id", 1, "movie_id")
+        .filter(0, "year", CmpOp::Ge, 2010.0);
+    let env = Env::new(&db);
+    let plan = env.expert_plan(&query).expect("expert plans every valid query");
+    println!("\n== expert plan ==\n{}", plan.explain(&query));
+    let latency = env.run(&query, &plan);
+    println!("simulated latency: {latency:.1} µs");
+
+    // 3) ML-enhanced: a Bao bandit steers the same optimizer with hints.
+    let workload = demo_workload(&db, 30, 7);
+    let (bao, training_latencies) = train_bao(&db, &workload, 1);
+    let choice = bao.choose_greedy(&env, &query);
+    let steered = env.run(&query, &choice.plan);
+    println!("\n== bao ==");
+    println!(
+        "trained on {} queries (first {:.0} µs → last {:.0} µs)",
+        training_latencies.len(),
+        training_latencies.first().copied().unwrap_or(0.0),
+        training_latencies.last().copied().unwrap_or(0.0),
+    );
+    println!("steered latency: {steered:.1} µs (expert: {latency:.1} µs)");
+
+    // 4) Replacement: a learned index vs the B+Tree it replaces.
+    let mut rng = StdRng::seed_from_u64(3);
+    let entries = ml4db_core::index::keys::generate_entries(
+        ml4db_core::index::keys::KeyDistribution::LogNormal { sigma: 1.5 },
+        50_000,
+        &mut rng,
+    );
+    let btree = BPlusTree::bulk_load(&entries);
+    let rmi = Rmi::build(entries.clone(), 256);
+    let pgm = PgmIndex::build(entries.clone(), 16);
+    println!("\n== learned index vs B+Tree (50k lognormal keys) ==");
+    println!("  b+tree structure: {:>9} bytes", btree.size_bytes());
+    println!("  rmi model:        {:>9} bytes (max err {})", rmi.size_bytes(), rmi.max_error());
+    println!(
+        "  pgm model:        {:>9} bytes ({} segments, ε={})",
+        pgm.size_bytes(),
+        pgm.num_segments(),
+        pgm.epsilon()
+    );
+    let probe = entries[entries.len() / 3].0;
+    assert_eq!(btree.get(probe), rmi.get(probe));
+    assert_eq!(btree.get(probe), pgm.get(probe));
+    println!("  all three agree on lookups ✓");
+
+    // 5) The survey artifacts the paper actually prints.
+    println!("\n== Figure 1 (publication trend) ==");
+    print!("{}", render_figure1(&figure1_series()));
+    println!("\n== Table 1 (plan representation methods) ==");
+    print!("{}", render_table1());
+}

@@ -1,0 +1,78 @@
+//! The plan-representation comparative study (E12, after \[57\]): a grid of
+//! feature encodings × tree models on the cost-estimation task, ending in
+//! the paper's headline factor analysis — does the encoding or the tree
+//! model move the needle more?
+//!
+//! ```bash
+//! cargo run --release --example representation_study
+//! ```
+
+use ml4db_core::repr::study::{factor_spreads, run_study, LabeledPlan, StudyConfig};
+use ml4db_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(13);
+    let db = demo_database(250, 1);
+    let queries = demo_workload(&db, 30, 2);
+
+    // A labeled plan corpus: expert + random plans, executed.
+    let planner = Planner::default();
+    let cost_model = CostModel::default();
+    let mut corpus = Vec::new();
+    for q in &queries {
+        let mut plans = Vec::new();
+        if let Some(p) = planner.best_plan(&db, q, &ClassicEstimator) {
+            plans.push(p);
+        }
+        plans.extend(planner.random_plans(&db, q, &ClassicEstimator, 2, &mut rng));
+        for mut p in plans {
+            cost_model.cost_plan(&db, q, &mut p, &ClassicEstimator);
+            let latency = ml4db_core::plan::execute(&db, q, &p).expect("valid plan").latency_us;
+            corpus.push(LabeledPlan { query: q.clone(), plan: p, latency_us: latency });
+        }
+    }
+    println!("corpus: {} labeled plans from {} queries", corpus.len(), queries.len());
+
+    let config = StudyConfig { epochs: 15, ..Default::default() };
+    let cells = run_study(&db, &corpus, &config, &mut rng);
+
+    println!("\n== grid: median q-error (held-out) ==");
+    println!("{:<16} {:>8} {:>10} {:>10} {:>10} {:>12}", "encoding", "flat", "dfs-lstm", "tree-cnn", "tree-lstm", "transformer");
+    for enc in ["semantic", "stats", "semantic+stats"] {
+        let row: Vec<String> = ["flat", "dfs-lstm", "tree-cnn", "tree-lstm", "transformer"]
+            .iter()
+            .map(|m| {
+                cells
+                    .iter()
+                    .find(|c| c.encoding.label() == enc && c.model.label() == *m)
+                    .map_or("-".into(), |c| format!("{:.2}", c.median_q_error))
+            })
+            .collect();
+        println!(
+            "{:<16} {:>8} {:>10} {:>10} {:>10} {:>12}",
+            enc, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+
+    println!("\n== grid: rank correlation (relative metric of [57]) ==");
+    for c in &cells {
+        println!(
+            "  {:<16} x {:<12} rank corr {:+.3}",
+            c.encoding.label(),
+            c.model.label(),
+            c.rank_correlation
+        );
+    }
+
+    let (enc_spread, model_spread) = factor_spreads(&cells);
+    println!("\n== factor analysis (log q-error range) ==");
+    println!("  varying the ENCODING (model fixed): {enc_spread:.3}");
+    println!("  varying the MODEL (encoding fixed): {model_spread:.3}");
+    if enc_spread > model_spread {
+        println!("  → feature encoding matters more than the tree model, as [57] reports");
+    } else {
+        println!("  → on this corpus the tree model dominated (rerun with more data)");
+    }
+}

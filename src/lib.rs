@@ -1,0 +1,6 @@
+//! Integration suite for the `ml4db` workspace.
+//!
+//! This crate hosts the cross-crate integration tests (in `/tests`) and the
+//! runnable examples (in `/examples`). The actual library surface lives in
+//! the `ml4db-*` crates; start from [`ml4db_core::prelude`].
+pub use ml4db_core as core;
