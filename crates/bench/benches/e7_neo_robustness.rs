@@ -49,12 +49,11 @@ fn regenerate() {
     let mut degradations = Vec::new();
     for (name, planner) in [
         ("neo", Box::new(|env: &Env, q: &Query| neo.plan(env, q))
-            as Box<dyn FnMut(&Env, &Query) -> Option<PlanNode>>),
+            as Box<dyn Fn(&Env, &Query) -> Option<PlanNode> + Sync>),
         ("rtos", Box::new(|env: &Env, q: &Query| rtos.plan(env, q))),
     ] {
-        let mut planner = planner;
-        let seen = evaluate(&env, &seen_test, &mut planner);
-        let unseen = evaluate(&env, &unseen_test, &mut planner);
+        let seen = evaluate(&env, &seen_test, &planner);
+        let unseen = evaluate(&env, &unseen_test, &planner);
         println!(
             "{:<8} {:<8} {:>14.2} {:>12.0} {:>9}/{}",
             name, "seen", seen.relative_total, seen.tail.p99, seen.regressions, seen_test.len()

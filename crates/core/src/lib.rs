@@ -26,6 +26,7 @@ pub use ml4db_datagen as datagen;
 pub use ml4db_index as index;
 pub use ml4db_nn as nn;
 pub use ml4db_optimizer as optimizer;
+pub use ml4db_par as par;
 pub use ml4db_plan as plan;
 pub use ml4db_pretrain as pretrain;
 pub use ml4db_repr as repr;
@@ -41,9 +42,10 @@ pub mod prelude {
     pub use ml4db_datagen::{SchemaGraph, WorkloadConfig, WorkloadGenerator};
     pub use ml4db_index::{AlexIndex, BPlusTree, DynamicPgm, MutableIndex, OrderedIndex, PgmIndex, RadixSpline, Rmi};
     pub use ml4db_optimizer::{AutoSteer, Balsa, Bao, Env, Leon, Neo, ParamTree, Rtos};
+    pub use ml4db_par::{par_map, par_map_indexed, set_threads};
     pub use ml4db_plan::{
-        bao_arms, CardEstimator, ClassicEstimator, CostModel, HintSet, PlanNode, Planner, Query,
-        TrueCardinality,
+        bao_arms, CardEstimator, ClassicEstimator, CostModel, HintSet, PlanCache, PlanNode,
+        Planner, Query, TrueCardinality,
     };
     pub use ml4db_repr::{featurize_plan, CostRegressor, FeatureConfig, PlanEncoder, TreeModelKind};
     pub use ml4db_spatial::{AiRTree, GuttmanPolicy, LisaIndex, PlatonPacker, RTree, RsmiIndex, ZmIndex};

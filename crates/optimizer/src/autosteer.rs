@@ -63,30 +63,43 @@ pub fn discover_hint_sets(env: &Env, query: &Query, cost_cap: f64) -> Discovery 
     let consider = |plan: &PlanNode| -> bool {
         plan.signature() != base_sig && plan.est_cost <= base_cost * cost_cap
     };
+    // Probe every single toggle in parallel (each probe is an
+    // independent plan), then fold the verdicts in toggle order so the
+    // kept list is scheduling-independent.
+    let toggles = single_toggles();
+    let probes: Vec<Option<PlanNode>> =
+        ml4db_par::par_map(&toggles, |&h| env.plan_with_hint(query, h));
     let mut kept: Vec<HintSet> = Vec::new();
     let mut effective = 0usize;
-    for h in single_toggles() {
-        if let Some(plan) = env.plan_with_hint(query, h) {
+    for (h, probe) in toggles.iter().zip(&probes) {
+        if let Some(plan) = probe {
             if plan.signature() != base_sig {
                 effective += 1;
                 if plan.est_cost <= base_cost * cost_cap {
-                    kept.push(h);
+                    kept.push(*h);
                 }
             }
         }
     }
-    // Greedy merge phase.
+    // Greedy merge phase: candidate pairs come only from the kept
+    // singles, so the full candidate list is known up front — sweep the
+    // plans in parallel and filter in pair order.
     let singles = kept.clone();
+    let mut pairs: Vec<HintSet> = Vec::new();
     for i in 0..singles.len() {
         for j in i + 1..singles.len() {
             let m = merge(singles[i], singles[j]);
-            if !m.is_valid() || kept.contains(&m) {
-                continue;
+            if m.is_valid() && !kept.contains(&m) && !pairs.contains(&m) {
+                pairs.push(m);
             }
-            if let Some(plan) = env.plan_with_hint(query, m) {
-                if consider(&plan) {
-                    kept.push(m);
-                }
+        }
+    }
+    let merged: Vec<Option<PlanNode>> =
+        ml4db_par::par_map(&pairs, |&m| env.plan_with_hint(query, m));
+    for (m, probe) in pairs.iter().zip(&merged) {
+        if let Some(plan) = probe {
+            if consider(plan) {
+                kept.push(*m);
             }
         }
     }
@@ -188,15 +201,17 @@ mod tests {
         let mut auto = AutoSteer::new();
         let mut rng = StdRng::seed_from_u64(1);
         let q = query();
-        let mut last = f64::INFINITY;
         for _ in 0..8 {
-            let (_, latency) = auto.step(&env, &q, &mut rng);
-            last = latency;
+            auto.step(&env, &q, &mut rng);
         }
         assert!(auto.bandit.window_len() == 8);
-        // After repeated exposure the chosen arm should be no worse than
-        // the expert default.
+        // Any individual step is a Thompson draw and may legitimately
+        // explore a bad arm, so judge learning by the exploit policy:
+        // after repeated exposure the greedy (posterior-mean) choice
+        // should be no worse than the expert default.
+        let greedy = auto.bandit.choose_greedy(&env, &q);
+        let learned = env.run(&q, &greedy.plan);
         let expert = env.run(&q, &env.expert_plan(&q).unwrap());
-        assert!(last <= expert * 1.5, "autosteer {last} vs expert {expert}");
+        assert!(learned <= expert * 1.5, "autosteer {learned} vs expert {expert}");
     }
 }

@@ -50,42 +50,50 @@ impl Bao {
         }
     }
 
-    /// Chooses an arm for `query` by Thompson sampling: draw one weight
-    /// vector from the posterior, score every arm's plan under it, pick the
-    /// minimum predicted log-latency.
-    pub fn choose<R: Rng + ?Sized>(&self, env: &Env, query: &Query, rng: &mut R) -> BaoChoice {
-        let weights = self.model.sample_weights(rng);
+    /// Plans every arm in parallel, scores each plan with `score`, and
+    /// picks the minimum. Selection is by `(score, arm index)` under
+    /// `f64::total_cmp`, so ties and the fold order are deterministic —
+    /// the winner cannot depend on which thread finished first.
+    fn sweep_arms(
+        &self,
+        env: &Env,
+        query: &Query,
+        score: impl Fn(&PlanNode) -> f64 + Sync,
+    ) -> BaoChoice {
+        let scored: Vec<Option<(f64, PlanNode)>> = ml4db_par::par_map(&self.arms, |&arm| {
+            env.plan_with_hint(query, arm).map(|plan| (score(&plan), plan))
+        });
         let mut best: Option<(f64, usize, PlanNode)> = None;
-        for (i, &arm) in self.arms.iter().enumerate() {
-            let Some(plan) = env.plan_with_hint(query, arm) else {
+        for (i, entry) in scored.into_iter().enumerate() {
+            let Some((s, plan)) = entry else {
                 continue;
             };
-            let f = plan_features(&plan);
-            let score = BayesianLinearRegression::predict_with(&weights, &f);
-            if best.as_ref().map_or(true, |(b, _, _)| score < *b) {
-                best = Some((score, i, plan));
+            if best.as_ref().map_or(true, |(b, _, _)| s.total_cmp(b).is_lt()) {
+                best = Some((s, i, plan));
             }
         }
         let (_, arm, plan) = best.expect("at least the default arm plans");
         BaoChoice { arm, plan }
     }
 
+    /// Chooses an arm for `query` by Thompson sampling: draw one weight
+    /// vector from the posterior, score every arm's plan under it, pick the
+    /// minimum predicted log-latency. The posterior draw happens up front
+    /// on the caller's RNG; the per-arm sweep is parallel and consumes no
+    /// randomness, so the RNG stream matches the serial formulation.
+    pub fn choose<R: Rng + ?Sized>(&self, env: &Env, query: &Query, rng: &mut R) -> BaoChoice {
+        let weights = self.model.sample_weights(rng);
+        self.sweep_arms(env, query, |plan| {
+            BayesianLinearRegression::predict_with(&weights, &plan_features(plan))
+        })
+    }
+
     /// Greedy (posterior-mean) choice, for evaluation without exploration.
     pub fn choose_greedy(&self, env: &Env, query: &Query) -> BaoChoice {
         let mean = self.model.posterior_mean();
-        let mut best: Option<(f64, usize, PlanNode)> = None;
-        for (i, &arm) in self.arms.iter().enumerate() {
-            let Some(plan) = env.plan_with_hint(query, arm) else {
-                continue;
-            };
-            let f = plan_features(&plan);
-            let score = BayesianLinearRegression::predict_with(&mean, &f);
-            if best.as_ref().map_or(true, |(b, _, _)| score < *b) {
-                best = Some((score, i, plan));
-            }
-        }
-        let (_, arm, plan) = best.expect("at least the default arm plans");
-        BaoChoice { arm, plan }
+        self.sweep_arms(env, query, |plan| {
+            BayesianLinearRegression::predict_with(&mean, &plan_features(plan))
+        })
     }
 
     /// Records the observed latency of an executed choice and refreshes the

@@ -3,7 +3,11 @@
 //! estimator), plan execution with simulated latency, and a flat plan
 //! featurization for bandit-style models.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+
 use ml4db_plan::{
+    cache::{epoch_of, CacheKey, PlanCache},
     execute, execute_with_timeout, CardEstimator, ClassicEstimator, CostModel, ExecOutcome,
     HintSet, JoinAlgo, PlanNode, PlanOp, Planner, Query, ScanAlgo,
 };
@@ -45,7 +49,18 @@ pub fn plan_features(plan: &PlanNode) -> Vec<f32> {
     ]
 }
 
-/// The environment: database + expert planner + executor.
+/// The environment: database + expert planner + executor, with a
+/// process-wide-safe [`PlanCache`] memoizing every `plan_with_hint` call.
+///
+/// # Cache semantics
+///
+/// `cost_model` stays a public, mutable field (ParamTree-style
+/// recalibration writes new R-params into it). The cache key's epoch is
+/// re-derived from the weights on *every* lookup, so mutating
+/// `cost_model.weights` implicitly invalidates all prior entries —
+/// there is no "flush" call to forget. The classical estimator is
+/// stateless, so (query fingerprint, hints, weights-epoch) fully
+/// determines the planner's output.
 pub struct Env<'a> {
     /// The database instance.
     pub db: &'a Database,
@@ -53,16 +68,48 @@ pub struct Env<'a> {
     pub cost_model: CostModel,
     /// The expert's cardinality estimator.
     pub estimator: ClassicEstimator,
+    /// Memoized `best_plan` results (see module docs on keying).
+    plan_cache: PlanCache,
+    /// Memoized expert latencies: the simulated executor is
+    /// deterministic, so one execution per (query, epoch) suffices for
+    /// all regression accounting.
+    expert_latency_cache: Mutex<HashMap<CacheKey, f64>>,
 }
 
 impl<'a> Env<'a> {
     /// Creates an environment with the expert defaults.
     pub fn new(db: &'a Database) -> Self {
-        Self { db, cost_model: CostModel::default(), estimator: ClassicEstimator }
+        Self {
+            db,
+            cost_model: CostModel::default(),
+            estimator: ClassicEstimator,
+            plan_cache: PlanCache::new(),
+            expert_latency_cache: Mutex::new(HashMap::new()),
+        }
     }
 
-    /// The expert plan under a hint set, fully cost-annotated.
+    /// The current plan-cache epoch: a hash of the cost-model weights.
+    pub fn epoch(&self) -> u64 {
+        epoch_of(&self.cost_model.weights)
+    }
+
+    /// The plan cache (for stats: hits, misses, hit rate, residency).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// The expert plan under a hint set, fully cost-annotated. Served
+    /// from the plan cache when this (query, hints) pair has been
+    /// planned before under the current weights.
     pub fn plan_with_hint(&self, query: &Query, hint: HintSet) -> Option<PlanNode> {
+        let key = CacheKey::new(query, hint, self.epoch());
+        self.plan_cache.get_or_insert_with(key, || self.plan_with_hint_uncached(query, hint))
+    }
+
+    /// The expert plan under a hint set, always planned from scratch —
+    /// the reference implementation the cache memoizes, kept public so
+    /// tests and benchmarks can compare against it.
+    pub fn plan_with_hint_uncached(&self, query: &Query, hint: HintSet) -> Option<PlanNode> {
         let planner = Planner { cost_model: self.cost_model, hint, ..Default::default() };
         let mut plan = planner.best_plan(self.db, query, &self.estimator)?;
         self.cost_model.cost_plan(self.db, query, &mut plan, &self.estimator);
@@ -74,6 +121,30 @@ impl<'a> Env<'a> {
         self.plan_with_hint(query, HintSet::all())
     }
 
+    /// Expert plans for a whole workload, fanned out over the
+    /// `ml4db_par` pool. Results are in input order and identical to
+    /// mapping [`Env::expert_plan`] serially.
+    pub fn expert_plans(&self, queries: &[Query]) -> Vec<Option<PlanNode>> {
+        ml4db_par::par_map(queries, |q| self.expert_plan(q))
+    }
+
+    /// The expert's latency on `query` (µs), computed once per (query,
+    /// epoch) and memoized; `None` when the expert cannot plan it. This
+    /// is what evaluation harnesses should charge as the baseline — it
+    /// never re-runs the expert for a query it has already measured.
+    pub fn expert_latency(&self, query: &Query) -> Option<f64> {
+        let key = CacheKey::new(query, HintSet::all(), self.epoch());
+        if let Some(&lat) = self.expert_latency_cache.lock().unwrap().get(&key) {
+            return Some(lat);
+        }
+        // Plan + run outside the lock (both deterministic; a racing
+        // thread computes the same value).
+        let plan = self.expert_plan(query)?;
+        let lat = self.run(query, &plan);
+        self.expert_latency_cache.lock().unwrap().insert(key, lat);
+        Some(lat)
+    }
+
     /// Executes a plan, returning the simulated latency in µs.
     ///
     /// # Panics
@@ -81,6 +152,16 @@ impl<'a> Env<'a> {
     /// this environment never do).
     pub fn run(&self, query: &Query, plan: &PlanNode) -> f64 {
         execute(self.db, query, plan).expect("valid plan").latency_us
+    }
+
+    /// Executes a batch of (query, plan) pairs over the `ml4db_par`
+    /// pool; latencies come back in input order, identical to calling
+    /// [`Env::run`] serially.
+    ///
+    /// # Panics
+    /// Panics if any plan references unknown tables, like [`Env::run`].
+    pub fn run_batch(&self, work: &[(Query, PlanNode)]) -> Vec<f64> {
+        ml4db_par::par_map(work, |(q, p)| self.run(q, p))
     }
 
     /// Executes with a latency budget; `None` means timed out.

@@ -25,30 +25,38 @@ pub struct EvalReport {
 }
 
 /// Evaluates a plan-producing closure against the expert on a workload.
+///
+/// Per-query work (expert baseline + learned plan + execution) fans out
+/// over the `ml4db_par` pool; results are folded back in input order, so
+/// the report is byte-identical at every thread count. The expert
+/// baseline goes through [`Env::expert_latency`], which plans and runs
+/// the expert **once** per (query, epoch) — earlier versions re-planned
+/// and re-executed the expert on every evaluation pass, double-charging
+/// the dominant cost of the loop.
+///
+/// `planner` must be `Fn + Sync`: it is called concurrently. Planners
+/// that need mutable state should either snapshot it before evaluating
+/// or wrap it in their own synchronization.
 pub fn evaluate(
     env: &Env,
     queries: &[Query],
-    mut planner: impl FnMut(&Env, &Query) -> Option<ml4db_plan::PlanNode>,
+    planner: impl Fn(&Env, &Query) -> Option<ml4db_plan::PlanNode> + Sync,
 ) -> EvalReport {
-    let mut latencies = Vec::with_capacity(queries.len());
-    let mut expert_latencies = Vec::with_capacity(queries.len());
-    let mut regressions = 0usize;
-    for q in queries {
-        let expert = env.expert_plan(q).expect("expert always plans");
-        let expert_lat = env.run(q, &expert);
+    let per_query: Vec<(f64, f64)> = ml4db_par::par_map(queries, |q| {
+        let expert_lat = env.expert_latency(q).expect("expert always plans");
         let lat = match planner(env, q) {
             Some(p) => env.run(q, &p),
             None => expert_lat, // a planner that abstains falls back
         };
-        if lat > expert_lat * 2.0 {
-            regressions += 1;
-        }
-        latencies.push(lat);
-        expert_latencies.push(expert_lat);
-    }
+        (lat, expert_lat)
+    });
+    let latencies: Vec<f64> = per_query.iter().map(|&(lat, _)| lat).collect();
+    let regressions =
+        per_query.iter().filter(|&&(lat, expert)| lat > expert * 2.0).count();
     let tail = tail_summary(&latencies).expect("non-empty workload");
     let total: f64 = latencies.iter().sum();
-    let expert_total: f64 = expert_latencies.iter().sum::<f64>().max(1e-9);
+    let expert_total: f64 =
+        per_query.iter().map(|&(_, expert)| expert).sum::<f64>().max(1e-9);
     EvalReport { latencies, tail, regressions, relative_total: total / expert_total }
 }
 

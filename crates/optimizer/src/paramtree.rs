@@ -121,39 +121,52 @@ impl ParamTree {
 
 /// Collects observations by executing the expert plan of each query.
 ///
+/// Per-query planning and execution fan out over the `ml4db_par` pool;
+/// observations come back in query order, identical to the serial loop.
+///
 /// Expert-only traces leave rarely-chosen operators (e.g. nested loops)
 /// unidentified in the least-squares fit; prefer
 /// [`collect_observations_diverse`] when fitting R-params.
 pub fn collect_observations(env: &Env, queries: &[Query]) -> Vec<Observation> {
-    let mut out = Vec::new();
-    for q in queries {
-        if let Some(plan) = env.expert_plan(q) {
-            if let Ok(result) = ml4db_plan::execute(env.db, q, &plan) {
-                out.push(Observation { stats: result.stats, latency_us: result.latency_us });
-            }
-        }
-    }
-    out
+    let per_query: Vec<Option<Observation>> = ml4db_par::par_map(queries, |q| {
+        let plan = env.expert_plan(q)?;
+        let result = ml4db_plan::execute(env.db, q, &plan).ok()?;
+        Some(Observation { stats: result.stats, latency_us: result.latency_us })
+    });
+    per_query.into_iter().flatten().collect()
 }
 
 /// Collects observations from the expert plan *plus* `per_query` random
 /// plans per query, so every operator class (and hence every R-param)
 /// appears with enough variation to be identified.
+///
+/// Randomness is pre-drawn: one seed per query comes off the caller's
+/// RNG serially, and each query's random plans are generated from its
+/// own seeded RNG inside the parallel region. The observation list is
+/// therefore a pure function of (env, queries, per_query, rng state) —
+/// the same at every thread count.
 pub fn collect_observations_diverse<R: rand::Rng + ?Sized>(
     env: &Env,
     queries: &[Query],
     per_query: usize,
     rng: &mut R,
 ) -> Vec<Observation> {
+    use rand::SeedableRng;
+    let seeds: Vec<u64> = queries.iter().map(|_| rng.gen()).collect();
     let planner = ml4db_plan::Planner::default();
     let mut out = collect_observations(env, queries);
-    for q in queries {
-        for plan in planner.random_plans(env.db, q, &env.estimator, per_query, rng) {
-            if let Ok(result) = ml4db_plan::execute(env.db, q, &plan) {
-                out.push(Observation { stats: result.stats, latency_us: result.latency_us });
-            }
-        }
-    }
+    let random: Vec<Vec<Observation>> = ml4db_par::par_map_indexed(queries, |i, q| {
+        let mut qrng = rand::rngs::StdRng::seed_from_u64(seeds[i]);
+        planner
+            .random_plans(env.db, q, &env.estimator, per_query, &mut qrng)
+            .iter()
+            .filter_map(|plan| {
+                let result = ml4db_plan::execute(env.db, q, plan).ok()?;
+                Some(Observation { stats: result.stats, latency_us: result.latency_us })
+            })
+            .collect()
+    });
+    out.extend(random.into_iter().flatten());
     out
 }
 

@@ -356,7 +356,13 @@ mod tests {
 
     #[test]
     fn latency_positive_and_orders_plans() {
-        let db = db();
+        // The claim under test is "NL loses to hash on *large* inputs",
+        // so build a database big enough that the filtered join inputs
+        // are actually large — at 120 base rows the inputs are a few
+        // dozen tuples and the ordering is a coin flip of the data seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        let cat = joblite(&DatasetConfig { base_rows: 600, ..Default::default() }, &mut rng);
+        let db = Database::analyze(cat, &mut rng);
         let q = two_way();
         let hash = PlanNode::join(
             &q,

@@ -95,6 +95,17 @@ impl HintSet {
         format!("{}/{}", joins.join("+"), scans.join("+"))
     }
 
+    /// Packs the hint set into its canonical 5-bit integer (the inverse
+    /// of the enumeration order in [`all_hint_sets`]); used to fold hints
+    /// into plan-cache keys.
+    pub fn bits(self) -> u8 {
+        (self.hash_join as u8)
+            | (self.nested_loop as u8) << 1
+            | (self.merge_join as u8) << 2
+            | (self.index_scan as u8) << 3
+            | (self.seq_scan as u8) << 4
+    }
+
     /// Encodes the hint set as a 5-bit feature vector (Bao's arm features).
     pub fn features(self) -> [f32; 5] {
         [

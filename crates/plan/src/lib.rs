@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod card;
 pub mod cost;
 pub mod enumerate;
@@ -22,6 +23,7 @@ pub mod hints;
 pub mod plan;
 pub mod query;
 
+pub use cache::{epoch_of, CacheKey, PlanCache};
 pub use card::{CardEstimator, ClassicEstimator, TrueCardinality};
 pub use cost::CostModel;
 pub use enumerate::{PlanShape, Planner};

@@ -181,6 +181,29 @@ impl Query {
         Ok(())
     }
 
+    /// A 64-bit structural fingerprint of the *full* query — tables,
+    /// join edges, and predicates **including constants** (via
+    /// `f64::to_bits`, so two queries fingerprint equal iff their plans
+    /// and result sets must be equal). This is the plan-cache key; the
+    /// constant-blind counterpart is [`Query::template_signature`].
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.tables.len().hash(&mut h);
+        for t in &self.tables {
+            t.table.hash(&mut h);
+        }
+        self.joins.len().hash(&mut h);
+        for e in &self.joins {
+            (e.left, e.left_col.as_str(), e.right, e.right_col.as_str()).hash(&mut h);
+        }
+        self.predicates.len().hash(&mut h);
+        for p in &self.predicates {
+            (p.table, p.column.as_str(), p.op as u8, p.value.to_bits()).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// A compact signature used as a template key (tables + join shape,
     /// ignoring constants) — the unit of "seen vs unseen" workload splits.
     pub fn template_signature(&self) -> String {
@@ -266,6 +289,18 @@ mod tests {
         assert_eq!(q.edges_between(0b001, 0b010).len(), 1);
         assert_eq!(q.edges_between(0b001, 0b100).len(), 0);
         assert_eq!(q.edges_within(0b111).len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_sees_constants_and_structure() {
+        let a = three_way();
+        assert_eq!(a.fingerprint(), three_way().fingerprint(), "deterministic");
+        let mut b = three_way();
+        b.predicates[0].value = 1990.0;
+        assert_ne!(a.fingerprint(), b.fingerprint(), "constants distinguish");
+        let mut c = three_way();
+        c.joins.swap(0, 1);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "join order distinguishes");
     }
 
     #[test]

@@ -56,6 +56,49 @@ macro_rules! publication {
     };
 }
 
+impl Problem {
+    /// Stable wire label for JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            Problem::Index => "Index",
+            Problem::QueryOptimizer => "QueryOptimizer",
+        }
+    }
+}
+
+impl Paradigm {
+    /// Stable wire label for JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            Paradigm::Replacement => "Replacement",
+            Paradigm::MlEnhanced => "MlEnhanced",
+        }
+    }
+}
+
+/// Serializes the corpus to a JSON array — the interchange format for
+/// downstream plotting. Hand-rolled writer (every field is an ASCII
+/// literal or integer, so no escaping is needed); the output parses with
+/// any JSON reader, including the vendored `serde_json`.
+pub fn corpus_json() -> String {
+    let mut out = String::from("[");
+    for (i, p) in corpus().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"year\":{},\"venue\":\"{}\",\"problem\":\"{}\",\"paradigm\":\"{}\"}}",
+            p.key,
+            p.year,
+            p.venue,
+            p.problem.label(),
+            p.paradigm.label(),
+        ));
+    }
+    out.push(']');
+    out
+}
+
 /// The reconstructed corpus of surveyed publications (2018–2023).
 pub fn corpus() -> Vec<Publication> {
     vec![
@@ -152,16 +195,18 @@ mod serde_tests {
     use super::*;
 
     /// The corpus serializes to JSON — the interchange format for
-    /// downstream plotting. (Deserialization into `Publication` needs
-    /// 'static strings, so the roundtrip check parses into a generic
-    /// value.)
+    /// downstream plotting. The exporter is hand-rolled, so the check
+    /// parses its output back into a generic value and verifies shape
+    /// and a sample field.
     #[test]
     fn corpus_serializes_to_json() {
         let c = corpus();
-        let json = serde_json::to_string(&c).expect("serializes");
+        let json = corpus_json();
         assert!(json.contains("kraska18-rmi"));
         let back: serde_json::Value = serde_json::from_str(&json).expect("parses");
         assert_eq!(back.as_array().map(|a| a.len()), Some(c.len()));
         assert_eq!(back[0]["year"], serde_json::json!(c[0].year));
+        assert_eq!(back[0]["key"].as_str(), Some(c[0].key));
+        assert_eq!(back[0]["paradigm"].as_str(), Some(c[0].paradigm.label()));
     }
 }

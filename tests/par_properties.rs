@@ -1,0 +1,44 @@
+//! Property tests for the `ml4db_par` work pool: `par_map` must be an
+//! exact drop-in for the serial map — same outputs, same order — at any
+//! thread count, over arbitrary inputs.
+
+use ml4db_core::par;
+use proptest::prelude::*;
+
+/// A cheap but order- and value-sensitive function: any dropped, swapped,
+/// or duplicated item changes the output vector.
+fn mix(i: usize, x: u64) -> u64 {
+    (x ^ (i as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `par_map` equals the serial map element-for-element regardless of
+    /// input size or thread count (including counts above the item count).
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        threads in 1usize..10,
+    ) {
+        let serial: Vec<u64> = items.iter().map(|&x| mix(0, x)).collect();
+        let prev = par::set_threads(threads);
+        let parallel = par::par_map(&items, |&x| mix(0, x));
+        par::set_threads(prev);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// The indexed variant hands every closure its item's original index.
+    #[test]
+    fn par_map_indexed_preserves_indices(
+        items in proptest::collection::vec(0u64..u64::MAX, 0..300),
+        threads in 1usize..10,
+    ) {
+        let serial: Vec<u64> =
+            items.iter().enumerate().map(|(i, &x)| mix(i, x)).collect();
+        let prev = par::set_threads(threads);
+        let parallel = par::par_map_indexed(&items, |i, &x| mix(i, x));
+        par::set_threads(prev);
+        prop_assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate (API-compatible subset).
+//!
+//! Implements the benchmark-harness surface the ml4db bench crate uses:
+//! [`Criterion`] with `sample_size`/`warm_up_time`/`measurement_time`
+//! builders, `bench_function`, `benchmark_group`, `final_summary`, the
+//! [`Bencher::iter`] measurement loop, and [`black_box`].
+//!
+//! Measurement is deliberately simple: after a wall-clock warm-up, each
+//! sample times a batch of iterations sized so the requested measurement
+//! window is split evenly across samples, and the reported statistics are
+//! the min / median / max of the per-iteration sample means. There is no
+//! outlier analysis, plotting, or baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimiser from deleting
+/// or hoisting the computation of its argument.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+struct SampleStats {
+    name: String,
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+    iterations: u64,
+}
+
+/// The benchmark harness: configure, run named benchmarks, then print a
+/// summary.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    results: Vec<SampleStats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the wall-clock warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            sample_means_ns: Vec::new(),
+            iterations: 0,
+        };
+        f(&mut b);
+        let stats = b.into_stats(name.as_ref());
+        println!(
+            "{:<40} time: [{} {} {}]  ({} iters)",
+            stats.name,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.max_ns),
+            stats.iterations,
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside it are prefixed `group/`.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.as_ref().to_string() }
+    }
+
+    /// Prints a closing summary of every benchmark run so far.
+    pub fn final_summary(&mut self) {
+        println!("\n== criterion (vendored) summary: {} benchmark(s) ==", self.results.len());
+        for s in &self.results {
+            println!("  {:<40} median {}", s.name, fmt_ns(s.median_ns));
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Overrides the sample count for the rest of this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for the rest of this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Closes the group (accounting no-op in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    sample_means_ns: Vec<f64>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warms up for the configured budget, then takes
+    /// `sample_size` timed batches and records per-iteration means.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also estimates the per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.sample_means_ns.push(elapsed / batch as f64);
+            self.iterations += batch;
+        }
+    }
+
+    fn into_stats(mut self, name: &str) -> SampleStats {
+        if self.sample_means_ns.is_empty() {
+            self.sample_means_ns.push(0.0);
+        }
+        self.sample_means_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = self.sample_means_ns.len();
+        SampleStats {
+            name: name.to_string(),
+            min_ns: self.sample_means_ns[0],
+            median_ns: self.sample_means_ns[n / 2],
+            max_ns: self.sample_means_ns[n - 1],
+            iterations: self.iterations,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{:.1} ns", ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(1u64 + 2)
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].iterations > 0);
+        assert!(calls > 0);
+        c.final_summary();
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("inner", |b| b.iter(|| black_box(3u32 * 7)));
+            g.finish();
+        }
+        assert_eq!(c.results[0].name, "grp/inner");
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `rand_distr` crate (API-compatible subset).
+//!
+//! Provides the distributions the ml4db workspace samples from —
+//! [`StandardNormal`], [`Normal`], [`LogNormal`], and [`Zipf`] — on top of
+//! the vendored `rand` shim. Sampling algorithms favour implementability
+//! over matching upstream bit-for-bit: normals use Box–Muller rather than
+//! upstream's ziggurat, and Zipf uses an inverse-CDF table rather than
+//! rejection-inversion. All are deterministic functions of the RNG stream.
+
+#![warn(missing_docs)]
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Error for invalid distribution parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A uniform draw in the open-closed interval `(0, 1]` — safe for `ln`.
+#[inline]
+fn open_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    /// Box–Muller: two uniforms per draw (the cosine branch). Stateless,
+    /// so sampling consumes exactly two `u64`s — easy to reason about for
+    /// reproducibility.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = open_unit(rng);
+        let u2 = open_unit(rng);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let v: f64 = StandardNormal.sample(rng);
+        v as f32
+    }
+}
+
+/// The normal distribution N(mean, std²).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(Error);
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z: f64 = StandardNormal.sample(rng);
+        self.mean + self.std_dev * z
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given location and scale of the
+    /// underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(Self { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n: f64 = self.norm.sample(rng);
+        n.exp()
+    }
+}
+
+/// The Zipf distribution over `{1, ..., n}` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+///
+/// Sampling inverts a precomputed CDF table with binary search — O(n)
+/// memory at construction, O(log n) per sample. The workspace's domains
+/// are at most a few hundred thousand values, so the table is cheap.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, ..., n}`; requires `n ≥ 1`
+    /// and a finite positive exponent.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 || !s.is_finite() || s <= 0.0 {
+            return Err(Error);
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = open_unit(rng);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_right_median() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::new(0.0, 0.8).unwrap();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[5000];
+        // Median of LogNormal(0, σ) is exp(0) = 1.
+        assert!((0.9..1.1).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Zipf::new(100, 1.2).unwrap();
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let v = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v));
+            counts[v as usize - 1] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No trait machinery is provided: the workspace's only
+//! runtime serialization is the hand-rolled JSON in `ml4db-survey`, and
+//! every other derive site is documentation-of-intent on plain-old-data
+//! types.
+
+pub use serde_derive::{Deserialize, Serialize};

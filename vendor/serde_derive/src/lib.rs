@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The ml4db workspace derives `Serialize`/`Deserialize` on its data types
+//! as a statement of intent (the types are plain-old-data and wire-safe),
+//! but the only runtime serialization in the tree is hand-rolled JSON in
+//! `ml4db-survey`. These derives therefore expand to nothing: they accept
+//! any struct or enum and emit no code, keeping `#[derive(Serialize,
+//! Deserialize)]` compiling without the upstream syn/quote stack.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
