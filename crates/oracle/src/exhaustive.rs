@@ -1,0 +1,373 @@
+//! Planner checks against exhaustive plan enumeration.
+//!
+//! On small queries the whole plan space is enumerable: every scan choice
+//! × every connected split × every join algorithm the hint set admits.
+//! `Planner::best_plan` claims the cost-minimal plan via System R-style
+//! DP; this module rebuilds the space without any pruning and verifies
+//! the claim, plus structural validity of everything any planner entry
+//! point emits, plus scale-invariance of greedy ordering (the regression
+//! guard for GOO mixing output rows into microsecond cost).
+
+use ml4db_plan::card::CardEstimator;
+use ml4db_plan::cost::CostModel;
+use ml4db_plan::executor::execute;
+use ml4db_plan::hints::{all_hint_sets, HintSet};
+use ml4db_plan::plan::{PlanNode, PlanOp, ScanAlgo};
+use ml4db_plan::{PlanShape, Planner, Query, TrueCardinality};
+use ml4db_storage::{CostWeights, Database, TRUE_WEIGHTS};
+use rand::Rng;
+
+use crate::Discrepancy;
+
+/// Enumerates *every* plan the hint set admits for `query`: all scan
+/// choices per table, all ordered connected splits per subset, all
+/// allowed join algorithms. Exponential by design — panics above four
+/// tables.
+pub fn enumerate_all_plans(db: &Database, query: &Query, hint: HintSet) -> Vec<PlanNode> {
+    let n = query.num_tables();
+    assert!(n <= 4, "exhaustive enumeration is exponential; use <= 4 tables");
+    let full = query.full_mask();
+    let mut per_mask: Vec<Vec<PlanNode>> = vec![Vec::new(); (full + 1) as usize];
+    for t in 0..n {
+        let mut v = Vec::new();
+        if hint.seq_scan {
+            v.push(PlanNode::scan(query, t, ScanAlgo::Seq, None));
+        }
+        if hint.index_scan {
+            let mut seen = std::collections::BTreeSet::new();
+            for p in query.predicates_on(t) {
+                if db.has_index(&query.tables[t].table, &p.column)
+                    && seen.insert(p.column.clone())
+                {
+                    v.push(PlanNode::scan(query, t, ScanAlgo::Index, Some(p.column.clone())));
+                }
+            }
+        }
+        per_mask[1usize << t] = v;
+    }
+    let joins = hint.allowed_joins();
+    for mask in 1..=full {
+        if mask.count_ones() < 2 || !query.is_connected(mask) {
+            continue;
+        }
+        let mut v = Vec::new();
+        // Ordered splits: sub runs over all proper non-empty subsets, so
+        // both (A, B) and (B, A) appear — operand order matters for cost
+        // (hash join builds on the right input).
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let rest = mask & !sub;
+            if !per_mask[sub as usize].is_empty()
+                && !per_mask[rest as usize].is_empty()
+                && !query.edges_between(sub, rest).is_empty()
+            {
+                for l in &per_mask[sub as usize] {
+                    for r in &per_mask[rest as usize] {
+                        for &algo in &joins {
+                            v.push(PlanNode::join(query, algo, l.clone(), r.clone()));
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        per_mask[mask as usize] = v;
+    }
+    per_mask.swap_remove(full as usize)
+}
+
+/// Checks that `best_plan` under [`TRUE_WEIGHTS`] and true cardinalities
+/// is cost-minimal over the exhaustive space, and that the DP's own
+/// `est_cost` annotation agrees with independently re-costing its plan.
+pub fn check_best_plan_optimal(db: &Database, query: &Query) -> Vec<Discrepancy> {
+    let mut found = Vec::new();
+    let oracle = TrueCardinality::new();
+    let model = CostModel::new(TRUE_WEIGHTS);
+    let planner = Planner { cost_model: model, shape: PlanShape::Bushy, hint: HintSet::all() };
+    let Some(best) = planner.best_plan(db, query, &oracle) else {
+        found.push(Discrepancy::new(
+            "planner-optimality",
+            "best_plan returned None under the all-enabled hint set",
+        ));
+        return found;
+    };
+    let dp_cost = best.est_cost;
+    let mut recosted = best.clone();
+    let best_cost = model.cost_plan(db, query, &mut recosted, &oracle);
+    if (dp_cost - best_cost).abs() > 1e-6 * best_cost.max(1.0) {
+        found.push(Discrepancy::new(
+            "planner-optimality",
+            format!(
+                "DP bookkeeping cost {dp_cost} disagrees with bottom-up re-costing \
+                 {best_cost} on {}",
+                best.signature()
+            ),
+        ));
+    }
+    let mut min_cost = f64::INFINITY;
+    let mut min_sig = String::new();
+    for mut p in enumerate_all_plans(db, query, HintSet::all()) {
+        let c = model.cost_plan(db, query, &mut p, &oracle);
+        if c < min_cost {
+            min_cost = c;
+            min_sig = p.signature();
+        }
+    }
+    if best_cost > min_cost * (1.0 + 1e-9) + 1e-9 {
+        found.push(Discrepancy::new(
+            "planner-optimality",
+            format!(
+                "best_plan {} costs {best_cost} but enumerated plan {min_sig} costs \
+                 {min_cost}",
+                best.signature()
+            ),
+        ));
+    }
+    found
+}
+
+fn hint_violation(plan: &PlanNode, hint: HintSet) -> Option<String> {
+    let joins = hint.allowed_joins();
+    let scans = hint.allowed_scans();
+    let mut bad = None;
+    plan.walk(&mut |n| match &n.op {
+        PlanOp::Join { algo, .. } if !joins.contains(algo) => {
+            bad = Some(format!("{algo:?} join under hint {}", hint.label()));
+        }
+        PlanOp::Scan { algo, .. } if !scans.contains(algo) => {
+            bad = Some(format!("{algo:?} scan under hint {}", hint.label()));
+        }
+        _ => {}
+    });
+    bad
+}
+
+/// Checks that every planner entry point (`best_plan`, `greedy_plan`,
+/// `random_plans`) under *every* valid hint set only ever emits plans
+/// that validate structurally, cover the whole query, respect the hint
+/// set, and execute successfully.
+pub fn check_planners_emit_valid_plans<R: Rng + ?Sized>(
+    db: &Database,
+    query: &Query,
+    rng: &mut R,
+) -> Vec<Discrepancy> {
+    let mut found = Vec::new();
+    let oracle = TrueCardinality::new();
+    for hint in all_hint_sets() {
+        let planner = Planner {
+            cost_model: CostModel::new(TRUE_WEIGHTS),
+            shape: PlanShape::Bushy,
+            hint,
+        };
+        let mut plans: Vec<(&str, PlanNode)> = Vec::new();
+        // A hint set can legitimately admit no plan (e.g. index-only scans
+        // without indexes) — only emitted plans are checked.
+        if let Some(p) = planner.best_plan(db, query, &oracle) {
+            plans.push(("best_plan", p));
+        }
+        if let Some(p) = planner.greedy_plan(db, query, &oracle) {
+            plans.push(("greedy_plan", p));
+        }
+        for p in planner.random_plans(db, query, &oracle, 2, rng) {
+            plans.push(("random_plans", p));
+        }
+        for (source, plan) in plans {
+            if let Err(e) = plan.validate() {
+                found.push(Discrepancy::new(
+                    "planner-validity",
+                    format!("{source} under {}: invalid plan: {e}", hint.label()),
+                ));
+                continue;
+            }
+            if plan.mask != query.full_mask() {
+                found.push(Discrepancy::new(
+                    "planner-validity",
+                    format!(
+                        "{source} under {}: plan covers mask {:#b}, not the full query",
+                        hint.label(),
+                        plan.mask
+                    ),
+                ));
+            }
+            if let Some(v) = hint_violation(&plan, hint) {
+                found.push(Discrepancy::new(
+                    "planner-validity",
+                    format!("{source} emitted a {v}"),
+                ));
+            }
+            if let Err(e) = execute(db, query, &plan) {
+                found.push(Discrepancy::new(
+                    "planner-validity",
+                    format!("{source} under {}: plan fails to execute: {e}", hint.label()),
+                ));
+            }
+        }
+    }
+    found
+}
+
+/// Checks that the greedy (GOO) plan is invariant under uniform scaling
+/// of all cost weights. Output-row counts are scale-free; incremental
+/// cost is not — so any leakage of absolute cost magnitude into the
+/// pair-selection *score* (rather than the tie-break) changes the chosen
+/// plan when weights are rescaled.
+pub fn check_greedy_scale_invariance(
+    db: &Database,
+    query: &Query,
+    est: &dyn CardEstimator,
+) -> Vec<Discrepancy> {
+    let scaled = |w: CostWeights, s: f64| CostWeights {
+        seq_page: w.seq_page * s,
+        random_page: w.random_page * s,
+        cpu_tuple: w.cpu_tuple * s,
+        cpu_compare: w.cpu_compare * s,
+        hash_build: w.hash_build * s,
+        hash_probe: w.hash_probe * s,
+        sort_op: w.sort_op * s,
+    };
+    let plan_sig = |w: CostWeights| {
+        Planner { cost_model: CostModel::new(w), shape: PlanShape::Bushy, hint: HintSet::all() }
+            .greedy_plan(db, query, est)
+            .map(|p| p.signature())
+    };
+    let base = plan_sig(TRUE_WEIGHTS);
+    let mut found = Vec::new();
+    for s in [1e-3, 1e3] {
+        let got = plan_sig(scaled(TRUE_WEIGHTS, s));
+        if got != base {
+            found.push(Discrepancy::new(
+                "greedy-scale-invariance",
+                format!(
+                    "greedy plan changed under weight scale {s}: {base:?} vs {got:?} \
+                     (GOO score must depend only on estimated rows)"
+                ),
+            ));
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{
+        joblite_db, sample_query, tpchlite_db, JOBLITE_EDGES, TPCHLITE_EDGES,
+    };
+    use ml4db_plan::ClassicEstimator;
+    use ml4db_storage::CmpOp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_way() -> Query {
+        Query::new(&["title", "cast_info", "person"])
+            .join(0, "id", 1, "movie_id")
+            .join(1, "person_id", 2, "id")
+            .filter(0, "year", CmpOp::Ge, 2000.0)
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_valid() {
+        let db = joblite_db(60, 41);
+        let q = three_way();
+        let all = enumerate_all_plans(&db, &q, HintSet::all());
+        // 3-table chain, title has an applicable index: per-table scans
+        // are {2,1,1}, adjacent pairs give 3·scans·scans plans each, and
+        // the full mask composes ordered splits of those.
+        assert!(all.len() > 100, "suspiciously small space: {}", all.len());
+        for p in &all {
+            p.validate().unwrap();
+            assert_eq!(p.mask, q.full_mask());
+        }
+        // Restricting the hint set shrinks the space strictly.
+        let nl_only = enumerate_all_plans(
+            &db,
+            &q,
+            HintSet {
+                hash_join: false,
+                merge_join: false,
+                index_scan: false,
+                ..HintSet::all()
+            },
+        );
+        assert!(!nl_only.is_empty() && nl_only.len() < all.len());
+    }
+
+    #[test]
+    fn best_plan_is_cost_optimal_on_joblite() {
+        let db = joblite_db(90, 42);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..5 {
+            let q = sample_query(&db, JOBLITE_EDGES, 3, &mut rng, i % 2 == 0);
+            crate::assert_no_discrepancies(&check_best_plan_optimal(&db, &q));
+        }
+    }
+
+    #[test]
+    fn best_plan_is_cost_optimal_on_tpchlite_four_tables() {
+        let db = tpchlite_db(70, 43);
+        let q = Query::new(&["nation", "customer", "orders", "lineitem"])
+            .join(0, "id", 1, "nation_id")
+            .join(1, "id", 2, "cust_id")
+            .join(2, "id", 3, "order_id")
+            .filter(2, "date", CmpOp::Le, 180.0);
+        crate::assert_no_discrepancies(&check_best_plan_optimal(&db, &q));
+    }
+
+    #[test]
+    fn best_plan_latency_is_near_optimal() {
+        // Cost-optimal and latency-optimal can differ (the cost model sees
+        // histogram-estimated index selectivities), but on small queries
+        // with true cardinalities the gap must stay small.
+        let db = joblite_db(60, 44);
+        let q = three_way();
+        let oracle = TrueCardinality::new();
+        let planner = Planner {
+            cost_model: CostModel::new(TRUE_WEIGHTS),
+            shape: PlanShape::Bushy,
+            hint: HintSet::all(),
+        };
+        let best = planner.best_plan(&db, &q, &oracle).unwrap();
+        let best_lat = execute(&db, &q, &best).unwrap().latency_us;
+        let mut min_lat = f64::INFINITY;
+        for p in enumerate_all_plans(&db, &q, HintSet::all()) {
+            min_lat = min_lat.min(execute(&db, &q, &p).unwrap().latency_us);
+        }
+        assert!(
+            best_lat <= min_lat * 1.3,
+            "best_plan latency {best_lat} vs enumerated optimum {min_lat}"
+        );
+    }
+
+    #[test]
+    fn planners_emit_valid_plans_under_all_hint_sets() {
+        let db = joblite_db(70, 45);
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = three_way();
+        crate::assert_no_discrepancies(&check_planners_emit_valid_plans(&db, &q, &mut rng));
+        let q = sample_query(&db, JOBLITE_EDGES, 4, &mut rng, true);
+        crate::assert_no_discrepancies(&check_planners_emit_valid_plans(&db, &q, &mut rng));
+    }
+
+    #[test]
+    fn greedy_is_scale_invariant() {
+        let db = joblite_db(100, 46);
+        let mut rng = StdRng::seed_from_u64(17);
+        for i in 0..6 {
+            let q = sample_query(&db, JOBLITE_EDGES, 4, &mut rng, i % 2 == 0);
+            crate::assert_no_discrepancies(&check_greedy_scale_invariance(
+                &db,
+                &q,
+                &ClassicEstimator,
+            ));
+        }
+        let db = tpchlite_db(100, 47);
+        for _ in 0..4 {
+            let q = sample_query(&db, TPCHLITE_EDGES, 4, &mut rng, true);
+            crate::assert_no_discrepancies(&check_greedy_scale_invariance(
+                &db,
+                &q,
+                &ClassicEstimator,
+            ));
+        }
+    }
+}

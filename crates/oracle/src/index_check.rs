@@ -1,0 +1,280 @@
+//! Learned-index-vs-classical-baseline checks.
+//!
+//! Learned 1-D indexes (RMI, PGM, RadixSpline, dynamic PGM, ALEX) must
+//! return exactly what the B+Tree returns for every point lookup — present
+//! and absent keys — and every inclusive range scan on the same key set.
+//! Learned spatial indexes (ZM, LISA, RSMI) must return exactly what the
+//! R-tree returns for range queries; both sides are additionally checked
+//! against a brute-force filter so the baseline itself cannot drift.
+
+use ml4db_index::{
+    AlexIndex, BPlusTree, DynamicPgm, KeyValue, MutableIndex, OrderedIndex, PgmIndex,
+    RadixSpline, Rmi,
+};
+use ml4db_spatial::data::unit_domain;
+use ml4db_spatial::rtree::Entry;
+use ml4db_spatial::{GuttmanPolicy, LisaIndex, Point, RTree, Rect, RsmiIndex, ZmIndex};
+
+use crate::Discrepancy;
+
+/// Cross-checks every 1-D index implementation against the B+Tree on one
+/// key set: `len`, point lookups on `probes` (mix present and absent
+/// keys), and inclusive range scans on `ranges`.
+///
+/// `entries` need not be sorted or unique; duplicates keep the last value
+/// (insert-overwrite semantics, matching the mutable indexes).
+pub fn check_ordered_indexes(
+    entries: &[KeyValue],
+    probes: &[u64],
+    ranges: &[(u64, u64)],
+) -> Vec<Discrepancy> {
+    let mut dedup: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for &(k, v) in entries {
+        dedup.insert(k, v);
+    }
+    let entries: Vec<KeyValue> = dedup.into_iter().collect();
+    let baseline = BPlusTree::bulk_load(&entries);
+
+    let mut dyn_pgm = DynamicPgm::new(16);
+    let mut alex = AlexIndex::new();
+    for &(k, v) in &entries {
+        dyn_pgm.insert(k, v);
+        alex.insert(k, v);
+    }
+    let candidates: Vec<(&str, Box<dyn OrderedIndex>)> = vec![
+        ("rmi", Box::new(Rmi::build(entries.clone(), 64))),
+        ("pgm", Box::new(PgmIndex::build(entries.clone(), 16))),
+        ("radix-spline", Box::new(RadixSpline::build(entries.clone(), 16))),
+        ("dynamic-pgm", Box::new(dyn_pgm)),
+        ("alex", Box::new(alex)),
+    ];
+
+    let mut found = Vec::new();
+    for (name, idx) in &candidates {
+        if idx.len() != baseline.len() {
+            found.push(Discrepancy::new(
+                "index-vs-btree",
+                format!("{name}: len {} vs btree {}", idx.len(), baseline.len()),
+            ));
+        }
+        for &k in probes {
+            let got = idx.get(k);
+            let want = baseline.get(k);
+            if got != want {
+                found.push(Discrepancy::new(
+                    "index-vs-btree",
+                    format!("{name}: get({k}) = {got:?} vs btree {want:?}"),
+                ));
+            }
+        }
+        for &(lo, hi) in ranges {
+            let got = idx.range(lo, hi);
+            let want = baseline.range(lo, hi);
+            if got != want {
+                found.push(Discrepancy::new(
+                    "index-vs-btree",
+                    format!(
+                        "{name}: range({lo}, {hi}) returned {} entries vs btree {} \
+                         (first diff at {:?})",
+                        got.len(),
+                        want.len(),
+                        got.iter().zip(want.iter()).position(|(a, b)| a != b)
+                    ),
+                ));
+            }
+        }
+    }
+    // The baseline itself against the sorted array (brute force).
+    for &(lo, hi) in ranges {
+        let want: Vec<KeyValue> =
+            entries.iter().copied().filter(|&(k, _)| k >= lo && k <= hi).collect();
+        if baseline.range(lo, hi) != want {
+            found.push(Discrepancy::new(
+                "index-vs-btree",
+                format!("btree range({lo}, {hi}) disagrees with brute-force filter"),
+            ));
+        }
+    }
+    found
+}
+
+/// Cross-checks every spatial index implementation on one point set: the
+/// bulk-loaded R-tree, an insert-built R-tree (Guttman policy), and the
+/// learned ZM / LISA / RSMI indexes must all return exactly the
+/// brute-force result set for every query rectangle, and R-tree kNN must
+/// match brute-force nearest neighbors by distance.
+pub fn check_spatial_indexes(points: &[Entry], queries: &[Rect]) -> Vec<Discrepancy> {
+    let mut found = Vec::new();
+    let bulk = RTree::bulk_load_str(points);
+    let mut inserted = RTree::new();
+    let mut policy = GuttmanPolicy;
+    for &e in points {
+        inserted.insert(e, &mut policy);
+    }
+    let zm = ZmIndex::build(points.to_vec(), unit_domain(), 16);
+    let lisa = LisaIndex::build(points.to_vec(), 64);
+    let rsmi = RsmiIndex::build(points.to_vec(), 16);
+
+    for (qi, q) in queries.iter().enumerate() {
+        let mut brute: Vec<usize> = points
+            .iter()
+            .filter(|e| q.intersects(&e.rect))
+            .map(|e| e.id)
+            .collect();
+        brute.sort_unstable();
+        let sorted = |mut v: Vec<usize>| {
+            v.sort_unstable();
+            v
+        };
+        let results: Vec<(&str, Vec<usize>)> = vec![
+            ("rtree-bulk", sorted(bulk.range_query(q).0)),
+            ("rtree-insert", sorted(inserted.range_query(q).0)),
+            ("zm", sorted(zm.range_query(q).0)),
+            ("lisa", sorted(lisa.range_query(q).0)),
+            ("rsmi", sorted(rsmi.range_query(q).0)),
+        ];
+        for (name, got) in results {
+            if got != brute {
+                found.push(Discrepancy::new(
+                    "spatial-vs-rtree",
+                    format!(
+                        "{name}: query #{qi} returned {} ids vs brute force {}",
+                        got.len(),
+                        brute.len()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // kNN: the R-tree's best-first search must return points at exactly
+    // the k smallest distances (ids may differ under distance ties).
+    if !points.is_empty() {
+        let center = Point::new(500.0, 500.0);
+        let k = 10.min(points.len());
+        let (got, _) = bulk.knn(&center, k);
+        let dist = |id: usize| -> f64 {
+            let e = points.iter().find(|e| e.id == id).expect("known id");
+            let dx = (e.rect.min.x + e.rect.max.x) / 2.0 - center.x;
+            let dy = (e.rect.min.y + e.rect.max.y) / 2.0 - center.y;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut got_dists: Vec<f64> = got.iter().map(|&id| dist(id)).collect();
+        got_dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut all_dists: Vec<f64> = points.iter().map(|e| dist(e.id)).collect();
+        all_dists.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if got_dists.len() != k
+            || got_dists
+                .iter()
+                .zip(all_dists.iter())
+                .any(|(g, w)| (g - w).abs() > 1e-9)
+        {
+            found.push(Discrepancy::new(
+                "spatial-vs-rtree",
+                format!("rtree knn distances {got_dists:?} != brute force {all_dists:?}"),
+            ));
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml4db_spatial::data::{generate_points, SpatialDistribution};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ordered_indexes_agree_on_dense_keys() {
+        let entries: Vec<KeyValue> = (0..2000u64).map(|k| (k * 3, k)).collect();
+        let probes: Vec<u64> = (0..300).map(|k| k * 21).collect();
+        let ranges = [(0, 100), (99, 2100), (5999, 5999), (6000, 9000), (50, 40)];
+        crate::assert_no_discrepancies(&check_ordered_indexes(&entries, &probes, &ranges));
+    }
+
+    #[test]
+    fn ordered_indexes_agree_on_adversarial_distributions() {
+        // Clustered keys with huge gaps — the regime where learned models
+        // mispredict positions and must fall back on their error bounds.
+        let mut entries: Vec<KeyValue> = Vec::new();
+        for c in 0..8u64 {
+            let base = c * 1_000_000_000;
+            entries.extend((0..200).map(|i| (base + i, c * 1000 + i)));
+        }
+        let probes: Vec<u64> = (0..8)
+            .flat_map(|c| {
+                let base = c * 1_000_000_000;
+                [base, base + 100, base + 199, base + 500, base + 999_999]
+            })
+            .collect();
+        let ranges =
+            [(0, 2_000_000_000), (999_999_000, 1_000_000_050), (100, 150), (u64::MAX - 5, u64::MAX)];
+        crate::assert_no_discrepancies(&check_ordered_indexes(&entries, &probes, &ranges));
+    }
+
+    #[test]
+    fn ordered_indexes_agree_on_empty_and_tiny() {
+        crate::assert_no_discrepancies(&check_ordered_indexes(&[], &[0, 7], &[(0, 10)]));
+        crate::assert_no_discrepancies(&check_ordered_indexes(
+            &[(5, 1)],
+            &[4, 5, 6],
+            &[(0, 10), (5, 5), (6, 9)],
+        ));
+    }
+
+    #[test]
+    fn spatial_indexes_agree_across_distributions() {
+        let mut rng = StdRng::seed_from_u64(51);
+        for dist in [
+            SpatialDistribution::Uniform,
+            SpatialDistribution::Clustered { clusters: 5 },
+            SpatialDistribution::Skewed,
+        ] {
+            let points = generate_points(dist, 600, &mut rng);
+            let queries: Vec<Rect> = (0..25)
+                .map(|_| {
+                    let x = rng.gen_range(0.0..900.0);
+                    let y = rng.gen_range(0.0..900.0);
+                    let w = rng.gen_range(1.0..200.0);
+                    let h = rng.gen_range(1.0..200.0);
+                    Rect::new(Point::new(x, y), Point::new(x + w, y + h))
+                })
+                .collect();
+            crate::assert_no_discrepancies(&check_spatial_indexes(&points, &queries));
+        }
+    }
+
+    #[test]
+    fn spatial_indexes_agree_on_degenerate_queries() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let points = generate_points(SpatialDistribution::Uniform, 200, &mut rng);
+        let exact_point = points[0].rect.min;
+        let queries = [
+            // Empty region.
+            Rect::new(Point::new(-10.0, -10.0), Point::new(-5.0, -5.0)),
+            // Whole domain.
+            Rect::new(Point::new(-1.0, -1.0), Point::new(2000.0, 2000.0)),
+            // Zero-area query exactly on a stored point (inclusive edges).
+            Rect::new(exact_point, exact_point),
+        ];
+        crate::assert_no_discrepancies(&check_spatial_indexes(&points, &queries));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn ordered_indexes_agree_property(
+            keys in proptest::collection::vec(0u64..10_000, 0..300),
+            probes in proptest::collection::vec(0u64..12_000, 1..40),
+            ranges in proptest::collection::vec((0u64..12_000, 0u64..12_000), 1..10),
+        ) {
+            let entries: Vec<KeyValue> =
+                keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+            let found = check_ordered_indexes(&entries, &probes, &ranges);
+            prop_assert!(found.is_empty(), "{:?}", found);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # ml4db-oracle — the differential-testing oracle
+//!
+//! Lehmann et al. ("Is Your Learned Query Optimizer Behaving As You
+//! Expect?") show that learned-optimizer evaluations silently break when
+//! the engine, the cost model, and the planners drift apart. This crate is
+//! the verification layer that keeps the ml4db substrates honest: every
+//! component with a cheaper-but-cleverer implementation is cross-checked
+//! against a trivially-correct reference.
+//!
+//! Four check families:
+//!
+//! 1. **Executor vs reference engine** ([`reference`]): any [`PlanNode`]
+//!    the planners or hint sets can emit is executed both by the real
+//!    executor and by a brute-force interpreter (materialize, filter,
+//!    cross-product), and the row multisets must be equal.
+//! 2. **Cost model vs execution** ([`cost_check`]): under [`TRUE_WEIGHTS`]
+//!    the per-operator cost formulas must reproduce the executor's
+//!    instrumented latency within a tight, explainable tolerance, and
+//!    whole-plan costs with true cardinalities must track latency.
+//!    Includes a reference CDF for [`ml4db_storage::stats::Histogram`].
+//! 3. **Planners vs exhaustive enumeration** ([`exhaustive`]):
+//!    `Planner::best_plan` with the true-cardinality oracle must be
+//!    cost-optimal among *all* plans on small queries, and
+//!    `greedy_plan`/`random_plans` must never emit invalid plans.
+//! 4. **Learned indexes vs classical baselines** ([`index_check`]):
+//!    learned 1-D indexes must agree with the B+Tree, learned spatial
+//!    indexes with the R-tree, on identical key/point sets.
+//!
+//! Checks return a `Vec<`[`Discrepancy`]`>` — empty means the substrates
+//! agree. The root integration suite (`tests/oracle.rs`) and this crate's
+//! own tests assert emptiness; see DESIGN.md §"Correctness oracle".
+
+#![warn(missing_docs)]
+
+pub mod cost_check;
+pub mod exhaustive;
+pub mod index_check;
+pub mod reference;
+pub mod workload;
+
+#[allow(unused_imports)] // doc links
+use ml4db_plan::PlanNode;
+#[allow(unused_imports)] // doc links
+use ml4db_storage::TRUE_WEIGHTS;
+
+/// One disagreement between a component and its reference.
+#[derive(Clone, Debug)]
+pub struct Discrepancy {
+    /// Which check family flagged it (e.g. `"executor-vs-reference"`).
+    pub check: String,
+    /// Human-readable description with enough context to reproduce.
+    pub detail: String,
+}
+
+impl Discrepancy {
+    /// Creates a discrepancy record.
+    pub fn new(check: &str, detail: impl Into<String>) -> Self {
+        Self { check: check.to_string(), detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Discrepancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Panics with a readable report if `found` is non-empty. The assertion
+/// helper every oracle test funnels through.
+pub fn assert_no_discrepancies(found: &[Discrepancy]) {
+    assert!(
+        found.is_empty(),
+        "oracle found {} discrepancies:\n{}",
+        found.len(),
+        found.iter().map(|d| format!("  {d}")).collect::<Vec<_>>().join("\n")
+    );
+}

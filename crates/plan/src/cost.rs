@@ -4,7 +4,7 @@
 //! model's cost equals the executor's simulated latency up to small
 //! rounding, which the tests verify.
 
-use ml4db_storage::exec::ROWS_PER_PAGE;
+use ml4db_storage::exec::{index_descent_pages, ROWS_PER_PAGE};
 use ml4db_storage::{CostWeights, Database};
 
 use crate::card::{CardEstimator, ClassicEstimator};
@@ -41,7 +41,9 @@ impl CostModel {
                     + n * npreds.max(0.0) * w.cpu_compare
             }
             ScanAlgo::Index => {
-                let descent = (n.max(2.0).log2() / 4.0).ceil() + 1.0;
+                // Same descent formula as the executor (shared function in
+                // ml4db-storage), so cost and simulated latency agree.
+                let descent = index_descent_pages(n.max(0.0) as u64) as f64;
                 descent * w.random_page
                     + (matched / ROWS_PER_PAGE as f64).ceil() * w.random_page
                     + matched * w.cpu_tuple

@@ -168,7 +168,11 @@ impl Planner {
             .collect::<Option<Vec<_>>>()?;
         let joins = self.hint.allowed_joins();
         while parts.len() > 1 {
-            let mut best: Option<(f64, usize, usize, JoinAlgo)> = None;
+            // Classic GOO scores on estimated output *rows* (a scale-free
+            // quantity); incremental cost only breaks ties among pairs and
+            // algorithms. Adding rows to microsecond cost would make the
+            // chosen pair depend on the weight scale.
+            let mut best: Option<(f64, f64, usize, usize, JoinAlgo)> = None;
             for i in 0..parts.len() {
                 for j in 0..parts.len() {
                     if i == j || query.edges_between(parts[i].mask, parts[j].mask).is_empty() {
@@ -182,14 +186,16 @@ impl Planner {
                             parts[j].est_rows,
                             out,
                         );
-                        let score = out + own;
-                        if best.map_or(true, |(b, ..)| score < b) {
-                            best = Some((score, i, j, algo));
+                        let better = best.map_or(true, |(brows, bcost, ..)| {
+                            out < brows || (out == brows && own < bcost)
+                        });
+                        if better {
+                            best = Some((out, own, i, j, algo));
                         }
                     }
                 }
             }
-            let (_, i, j, algo) = best?;
+            let (_, _, i, j, algo) = best?;
             let (hi, lo) = (i.max(j), i.min(j));
             let right = parts.remove(hi);
             let left = parts.remove(lo);

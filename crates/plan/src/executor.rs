@@ -10,6 +10,37 @@ use ml4db_storage::{CmpOp, Database, Row};
 use crate::plan::{JoinAlgo, PlanNode, PlanOp, ScanAlgo};
 use crate::query::Query;
 
+/// Smallest f64 strictly greater than `x` (finite, non-NaN inputs).
+/// `x + f64::EPSILON` is *not* this: it is an identity for `|x| >= 2`.
+fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return f64::from_bits(1);
+    }
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        f64::from_bits(x.to_bits() - 1)
+    }
+}
+
+/// Largest f64 strictly less than `x` (finite, non-NaN inputs).
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else {
+        f64::from_bits(x.to_bits() + 1)
+    }
+}
+
 /// Result of executing a plan to completion.
 #[derive(Clone, Debug)]
 pub struct ExecResult {
@@ -126,9 +157,9 @@ fn run_node(
                                     hi = hi.min(p.value);
                                 }
                                 CmpOp::Ge => lo = lo.max(p.value),
-                                CmpOp::Gt => lo = lo.max(p.value + f64::EPSILON),
+                                CmpOp::Gt => lo = lo.max(next_up(p.value)),
                                 CmpOp::Le => hi = hi.min(p.value),
-                                CmpOp::Lt => hi = hi.min(p.value - f64::EPSILON),
+                                CmpOp::Lt => hi = hi.min(next_down(p.value)),
                             }
                         } else {
                             residual.push(to_local(p)?);

@@ -17,6 +17,16 @@ use crate::table::{Row, Table, Value};
 /// Rows per simulated disk page.
 pub const ROWS_PER_PAGE: u64 = 64;
 
+/// Simulated B+Tree descent cost in random pages for an index over `n`
+/// rows: one page per level of a fanout-16 tree, `ceil(log2(n)/4) + 1`.
+///
+/// This is the single source of truth shared by the executor
+/// ([`index_scan`]) and the formula cost model in `ml4db-plan`; the
+/// differential oracle asserts the two sides cannot drift apart.
+pub fn index_descent_pages(n: u64) -> u64 {
+    ((n.max(2) as f64).log2() / 4.0).ceil() as u64 + 1
+}
+
 /// Work counters accumulated by every operator.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
@@ -206,7 +216,7 @@ pub fn index_scan(
     let mut out = Vec::new();
     let mut stats = ExecStats::default();
     // Simulated B+Tree descent.
-    stats.random_pages += (n.max(2) as f64).log2().ceil() as u64 / 4 + 1;
+    stats.random_pages += index_descent_pages(n as u64);
     for i in 0..n {
         let v = col.get_f64(i);
         if v >= lo && v <= hi {

@@ -69,21 +69,24 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let mut acc = 0u64;
+        // Accumulate in f64: truncating the partial-bucket mass to whole
+        // rows biases selectivity low and breaks additivity of adjacent
+        // ranges (the in-bucket interpolation is fractional by design).
+        let mut acc = 0.0f64;
         for (i, &count) in self.counts.iter().enumerate() {
             let lo = self.bounds[i];
             let hi = self.bounds[i + 1];
             if x >= hi {
-                acc += count;
+                acc += count as f64;
             } else if x >= lo {
                 let frac = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
-                acc += (count as f64 * frac) as u64;
+                acc += count as f64 * frac;
                 break;
             } else {
                 break;
             }
         }
-        (acc as f64 / self.total as f64).clamp(0.0, 1.0)
+        (acc / self.total as f64).clamp(0.0, 1.0)
     }
 
     /// Estimated selectivity of `lo <= value <= hi`.
