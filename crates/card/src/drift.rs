@@ -94,6 +94,18 @@ impl DriftDetector {
         self.reference = self.recent.iter().copied().collect();
         self.recent.clear();
     }
+
+    /// Rebaselines from scratch: clears **both** windows, so the next
+    /// `window` observations define a fresh reference. Unlike
+    /// [`DriftDetector::reset`] — which promotes the drifted recent window
+    /// to reference — this is the hook for a model that was *retrained*:
+    /// its error distribution has nothing in common with either window,
+    /// and keeping stale errors around would re-trip the alarm on a now
+    /// healthy model.
+    pub fn rebaseline(&mut self) {
+        self.reference.clear();
+        self.recent.clear();
+    }
 }
 
 /// Warper-style adaptation \[20\]: keep a bounded buffer of the most recent
@@ -238,6 +250,30 @@ mod tests {
             fired |= det.observe(rng.gen_range(4.0..5.0));
         }
         assert!(!fired, "alarm after rebaselining");
+    }
+
+    #[test]
+    fn rebaseline_clears_stale_errors_and_does_not_retrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut det = DriftDetector::new(20, 0.5);
+        // Stable regime, then a shift that trips the detector.
+        for _ in 0..40 {
+            det.observe(rng.gen_range(0.0..1.0));
+        }
+        let mut fired = false;
+        for _ in 0..40 {
+            fired |= det.observe(rng.gen_range(4.0..5.0));
+        }
+        assert!(fired, "setup: shift must trip first");
+        // The model retrains: its fresh errors are small again, matching
+        // *neither* old window. After rebaseline the detector relearns its
+        // reference from the new stream and stays quiet.
+        det.rebaseline();
+        let mut refired = false;
+        for _ in 0..80 {
+            refired |= det.observe(rng.gen_range(0.0..0.5));
+        }
+        assert!(!refired, "post-rebaseline observations must not re-trip");
     }
 
     #[test]

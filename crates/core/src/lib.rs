@@ -10,7 +10,9 @@
 //!   ([`ml4db_optimizer`]); the [`paradigm`] module captures the pattern
 //!   itself (guardrails, robustness reports);
 //! * **Open problems** — model efficiency and drift ([`ml4db_card`]),
-//!   training-data generation ([`ml4db_datagen`]).
+//!   training-data generation ([`ml4db_datagen`]), and deployment
+//!   robustness ([`ml4db_guard`]: circuit-breaker fallbacks for every
+//!   learned component, proven by deterministic fault injection).
 //!
 //! [`pipeline`] has one-call end-to-end flows; [`prelude`] re-exports the
 //! common surface. The survey artifacts (Figure 1, Table 1) live in
@@ -23,6 +25,7 @@ pub mod pipeline;
 
 pub use ml4db_card as card;
 pub use ml4db_datagen as datagen;
+pub use ml4db_guard as guard;
 pub use ml4db_index as index;
 pub use ml4db_nn as nn;
 pub use ml4db_optimizer as optimizer;
@@ -40,6 +43,10 @@ pub mod prelude {
     pub use crate::pipeline::{demo_database, demo_workload, train_bao};
     pub use ml4db_card::{MscnEstimator, NngpEstimator};
     pub use ml4db_datagen::{SchemaGraph, WorkloadConfig, WorkloadGenerator};
+    pub use ml4db_guard::{
+        BreakerState, CircuitBreaker, GuardedCardEstimator, GuardedIndex, GuardedSpatial,
+        GuardedSteering,
+    };
     pub use ml4db_index::{AlexIndex, BPlusTree, DynamicPgm, MutableIndex, OrderedIndex, PgmIndex, RadixSpline, Rmi};
     pub use ml4db_optimizer::{AutoSteer, Balsa, Bao, Env, Leon, Neo, ParamTree, Rtos};
     pub use ml4db_par::{par_map, par_map_indexed, set_threads};

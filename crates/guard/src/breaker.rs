@@ -1,0 +1,373 @@
+//! The circuit breaker at the heart of every guardrail: a three-state
+//! machine (Closed → Open → HalfOpen) tracking a regression budget for a
+//! learned component running side-by-side with its classical counterpart.
+//!
+//! Semantics follow the classical breaker pattern, adapted to be fully
+//! deterministic: all transitions are driven by *call counts*, never by
+//! wall-clock time, so a guarded run is a pure function of its inputs.
+//!
+//! * **Closed** — the learned component serves. Every judged failure
+//!   (invalid output, out-of-band answer, latency blow-up, panic) consumes
+//!   one unit of the failure budget; exhausting it trips the breaker.
+//! * **Open** — the classical component serves alone; the learned one is
+//!   not even invoked (this is the latency protection: a pathological
+//!   model costs nothing while the breaker is open). After `open_calls`
+//!   served calls the breaker moves to HalfOpen.
+//! * **HalfOpen** — probation: the learned component runs again in shadow
+//!   and is judged on every call. `probation_successes` consecutive clean
+//!   calls close the breaker; a single failure re-opens it.
+//!
+//! A retrained/rebaselined model can skip the Open cooldown via
+//! [`CircuitBreaker::begin_probation`], which jumps straight to HalfOpen.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Learned component serves; failures consume the budget.
+    Closed,
+    /// Classical only; the learned component is not invoked.
+    Open,
+    /// Probation: learned runs in shadow and is judged on every call.
+    HalfOpen,
+}
+
+/// Why a breaker tripped (or a single call was rejected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TripReason {
+    /// The learned output was unusable: NaN, infinite, non-positive, or
+    /// structurally invalid.
+    InvalidOutput,
+    /// The learned output disagreed with the classical answer beyond the
+    /// configured plausibility band or failed an audit against it.
+    OutOfBand,
+    /// The drift detector flagged a distribution shift in the error
+    /// stream.
+    Drift,
+    /// The learned choice exceeded its latency budget.
+    LatencyRegression,
+    /// The learned component panicked (caught at the guard boundary).
+    Panic,
+}
+
+/// Tunable breaker thresholds. All counts, no clocks.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Judged failures tolerated while Closed before tripping.
+    pub failure_budget: u32,
+    /// Calls served classical-only while Open before probation starts.
+    pub open_calls: u32,
+    /// Consecutive clean shadow calls required in HalfOpen to re-close.
+    pub probation_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_budget: 3, open_calls: 16, probation_successes: 8 }
+    }
+}
+
+/// What the caller should do for the current call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Run the learned component. When `shadow` is true the call is
+    /// probationary: judge the learned answer but *serve* the classical
+    /// one.
+    UseLearned {
+        /// Probationary call: judge learned, serve classical.
+        shadow: bool,
+    },
+    /// Serve the classical component without invoking the learned one.
+    UseClassical,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Failures since the last clean call (Closed only).
+    failures: u32,
+    /// Calls served while Open.
+    opened_for: u32,
+    /// Consecutive clean calls in HalfOpen.
+    probation_ok: u32,
+    trips: u64,
+    last_trip: Option<TripReason>,
+    calls: u64,
+    fallbacks: u64,
+}
+
+/// A deterministic, thread-safe circuit breaker.
+///
+/// Interior mutability keeps the guarded wrappers usable behind `&self`
+/// trait interfaces ([`ml4db_plan::CardEstimator`],
+/// [`ml4db_index::OrderedIndex`]). The internal mutex recovers from
+/// poisoning — a panicking worker thread must never wedge the guardrail
+/// that exists to contain panics (the state is a plain-old-data counter
+/// block, always valid).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                failures: 0,
+                opened_for: 0,
+                probation_ok: 0,
+                trips: 0,
+                last_trip: None,
+                calls: 0,
+                fallbacks: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Number of times the breaker has tripped to Open.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+
+    /// Reason for the most recent trip, if any.
+    pub fn last_trip(&self) -> Option<TripReason> {
+        self.lock().last_trip
+    }
+
+    /// Calls dispatched through [`CircuitBreaker::begin_call`].
+    pub fn calls(&self) -> u64 {
+        self.lock().calls
+    }
+
+    /// Calls where the classical answer was served (Open calls plus
+    /// judged failures plus shadow calls).
+    pub fn fallbacks(&self) -> u64 {
+        self.lock().fallbacks
+    }
+
+    /// Fraction of calls answered by the classical component.
+    pub fn fallback_rate(&self) -> f64 {
+        let g = self.lock();
+        if g.calls == 0 {
+            0.0
+        } else {
+            g.fallbacks as f64 / g.calls as f64
+        }
+    }
+
+    /// Starts one guarded call and returns the dispatch decision. While
+    /// Open this also advances the cooldown counter; the call that
+    /// exhausts it still serves classical, and the *next* one probes.
+    pub fn begin_call(&self) -> Decision {
+        let mut g = self.lock();
+        g.calls += 1;
+        match g.state {
+            BreakerState::Closed => Decision::UseLearned { shadow: false },
+            BreakerState::HalfOpen => {
+                g.fallbacks += 1; // shadow calls serve classical
+                Decision::UseLearned { shadow: true }
+            }
+            BreakerState::Open => {
+                g.fallbacks += 1;
+                g.opened_for += 1;
+                if g.opened_for >= self.cfg.open_calls {
+                    g.state = BreakerState::HalfOpen;
+                    g.probation_ok = 0;
+                }
+                Decision::UseClassical
+            }
+        }
+    }
+
+    /// Records a clean learned answer for the current call.
+    pub fn record_success(&self) {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => g.failures = 0,
+            BreakerState::HalfOpen => {
+                g.probation_ok += 1;
+                if g.probation_ok >= self.cfg.probation_successes {
+                    g.state = BreakerState::Closed;
+                    g.failures = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a judged failure; trips the breaker when the budget runs
+    /// out (Closed) or immediately (HalfOpen).
+    pub fn record_failure(&self, why: TripReason) {
+        let mut g = self.lock();
+        g.fallbacks += 1;
+        match g.state {
+            BreakerState::Closed => {
+                g.failures += 1;
+                if g.failures >= self.cfg.failure_budget {
+                    Self::trip(&mut g, why);
+                }
+            }
+            BreakerState::HalfOpen => Self::trip(&mut g, why),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Trips straight to Open regardless of remaining budget — for
+    /// model-level signals like drift detection.
+    pub fn force_open(&self, why: TripReason) {
+        let mut g = self.lock();
+        if g.state != BreakerState::Open {
+            Self::trip(&mut g, why);
+        }
+    }
+
+    /// Jumps to HalfOpen, skipping any remaining Open cooldown — the
+    /// re-admission hook called after a model retrains or rebaselines.
+    pub fn begin_probation(&self) {
+        let mut g = self.lock();
+        g.state = BreakerState::HalfOpen;
+        g.probation_ok = 0;
+    }
+
+    /// Resets to a fresh Closed breaker (counters preserved only for
+    /// `calls`/`fallbacks`/`trips` telemetry).
+    pub fn reset(&self) {
+        let mut g = self.lock();
+        g.state = BreakerState::Closed;
+        g.failures = 0;
+        g.opened_for = 0;
+        g.probation_ok = 0;
+    }
+
+    fn trip(g: &mut Inner, why: TripReason) {
+        g.state = BreakerState::Open;
+        g.opened_for = 0;
+        g.probation_ok = 0;
+        g.trips += 1;
+        g.last_trip = Some(why);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_budget: 2, open_calls: 3, probation_successes: 2 }
+    }
+
+    #[test]
+    fn trips_after_budget_and_recovers_through_probation() {
+        let b = CircuitBreaker::new(cfg());
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Two failures exhaust the budget.
+        assert_eq!(b.begin_call(), Decision::UseLearned { shadow: false });
+        b.record_failure(TripReason::InvalidOutput);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.begin_call(), Decision::UseLearned { shadow: false });
+        b.record_failure(TripReason::InvalidOutput);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.last_trip(), Some(TripReason::InvalidOutput));
+
+        // Open serves classical for `open_calls` calls, then HalfOpen.
+        for _ in 0..3 {
+            assert_eq!(b.begin_call(), Decision::UseClassical);
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // Two clean shadow calls close it again.
+        assert_eq!(b.begin_call(), Decision::UseLearned { shadow: true });
+        b.record_success();
+        assert_eq!(b.begin_call(), Decision::UseLearned { shadow: true });
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probation_failure_reopens_immediately() {
+        let b = CircuitBreaker::new(cfg());
+        b.force_open(TripReason::Drift);
+        for _ in 0..3 {
+            b.begin_call();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.begin_call();
+        b.record_failure(TripReason::OutOfBand);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_restores_closed_budget() {
+        let b = CircuitBreaker::new(cfg());
+        b.begin_call();
+        b.record_failure(TripReason::InvalidOutput);
+        b.begin_call();
+        b.record_success(); // budget resets
+        b.begin_call();
+        b.record_failure(TripReason::InvalidOutput);
+        assert_eq!(b.state(), BreakerState::Closed, "budget should have reset");
+    }
+
+    #[test]
+    fn begin_probation_skips_cooldown() {
+        let b = CircuitBreaker::new(cfg());
+        b.force_open(TripReason::Drift);
+        b.begin_probation();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn fallback_accounting() {
+        let b = CircuitBreaker::new(cfg());
+        b.begin_call();
+        b.record_success();
+        assert_eq!(b.fallback_rate(), 0.0);
+        b.begin_call();
+        b.record_failure(TripReason::Panic);
+        assert!(b.fallback_rate() > 0.4);
+        assert_eq!(b.calls(), 2);
+    }
+
+    #[test]
+    fn survives_poisoned_lock() {
+        let b = std::sync::Arc::new(CircuitBreaker::new(cfg()));
+        let b2 = b.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = b2.inner.lock().unwrap();
+            panic!("poison the breaker lock");
+        })
+        .join();
+        // A poisoned mutex must not wedge the guardrail.
+        b.begin_call();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,293 @@
+//! Circuit-breaker guardrail for learned one-dimensional indexes.
+//!
+//! [`GuardedIndex`] serves a learned index ([`ml4db_index::Rmi`], PGM,
+//! RadixSpline, …) next to a classical baseline (typically
+//! [`ml4db_index::BPlusTree`]) behind the common
+//! [`ml4db_index::OrderedIndex`] trait. Correctness signals:
+//!
+//! * **miss cross-check** — every learned miss is verified against the
+//!   classical index before `None` is served. A learned index whose
+//!   predictions are displaced by k slots misses present keys; the guard
+//!   converts each such miss into the correct classical answer *and* a
+//!   breaker failure. Served point lookups are therefore always correct.
+//! * **audit schedule** — range results are compared against the
+//!   classical index on a deterministic schedule: every call while trust
+//!   is young (the first `warmup_audits` learned calls) or probationary
+//!   (HalfOpen), then every `audit_every`-th call once the model has
+//!   earned sustained agreement. Every range result is additionally
+//!   invariant-checked (sorted, within bounds) on every call.
+//! * **panic containment** — out-of-bound predictions that make the
+//!   learned structure panic are caught and judged as failures.
+//!
+//! While the breaker is Open the classical index serves alone, so the
+//! guarded structure is exactly the baseline — the graceful-degradation
+//! guarantee the chaos harness asserts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ml4db_index::{KeyValue, OrderedIndex};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, Decision, TripReason};
+
+/// A learned ordered index guarded by a classical one.
+pub struct GuardedIndex<L, C> {
+    /// The learned index.
+    pub learned: L,
+    /// The classical baseline serving fallbacks and audits.
+    pub classical: C,
+    /// Audit every call for the first this-many learned calls.
+    pub warmup_audits: u64,
+    /// After warmup, audit every Nth learned call (0 disables periodic
+    /// audits; misses and invariants are still checked).
+    pub audit_every: u64,
+    breaker: CircuitBreaker,
+    learned_calls: AtomicU64,
+    audits: AtomicU64,
+    mismatches: AtomicU64,
+}
+
+impl<L: OrderedIndex, C: OrderedIndex> GuardedIndex<L, C> {
+    /// Guards `learned` with `classical` under default thresholds.
+    ///
+    /// # Panics
+    /// Panics if the two indexes disagree on entry count — they must be
+    /// built over the same data.
+    pub fn new(learned: L, classical: C) -> Self {
+        Self::with_config(learned, classical, BreakerConfig::default(), 16, 8)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_config(
+        learned: L,
+        classical: C,
+        cfg: BreakerConfig,
+        warmup_audits: u64,
+        audit_every: u64,
+    ) -> Self {
+        assert_eq!(
+            learned.len(),
+            classical.len(),
+            "guarded index requires both sides to index the same data"
+        );
+        Self {
+            learned,
+            classical,
+            warmup_audits,
+            audit_every,
+            breaker: CircuitBreaker::new(cfg),
+            learned_calls: AtomicU64::new(0),
+            audits: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+        }
+    }
+
+    /// The breaker, for state inspection and telemetry.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Number of audits performed (for tests and telemetry).
+    pub fn audits(&self) -> u64 {
+        self.audits.load(Ordering::Relaxed)
+    }
+
+    /// Number of audited calls where learned and classical disagreed.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches.load(Ordering::Relaxed)
+    }
+
+    /// Whether this learned call falls on the deterministic audit
+    /// schedule (dense during warmup, sparse after).
+    fn scheduled_audit(&self, nth_learned_call: u64) -> bool {
+        nth_learned_call <= self.warmup_audits
+            || (self.audit_every > 0 && nth_learned_call % self.audit_every == 0)
+    }
+}
+
+impl<L: OrderedIndex, C: OrderedIndex> OrderedIndex for GuardedIndex<L, C> {
+    fn len(&self) -> usize {
+        self.classical.len()
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        match self.breaker.begin_call() {
+            Decision::UseClassical => self.classical.get(key),
+            Decision::UseLearned { shadow } => {
+                let nth = self.learned_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                let learned = catch_unwind(AssertUnwindSafe(|| self.learned.get(key)));
+                let res = match learned {
+                    Err(_) => {
+                        self.breaker.record_failure(TripReason::Panic);
+                        return self.classical.get(key);
+                    }
+                    Ok(r) => r,
+                };
+                // A miss is always cross-checked: a learned index that
+                // mispredicts present keys must not drop rows. Hits are
+                // audited on the schedule (and always in shadow).
+                if shadow || res.is_none() || self.scheduled_audit(nth) {
+                    self.audits.fetch_add(1, Ordering::Relaxed);
+                    let truth = self.classical.get(key);
+                    if res == truth {
+                        self.breaker.record_success();
+                    } else {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_failure(TripReason::OutOfBand);
+                    }
+                    truth
+                } else {
+                    res
+                }
+            }
+        }
+    }
+
+    fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+        match self.breaker.begin_call() {
+            Decision::UseClassical => self.classical.range(lo, hi),
+            Decision::UseLearned { shadow } => {
+                let nth = self.learned_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                let learned =
+                    catch_unwind(AssertUnwindSafe(|| self.learned.range(lo, hi)));
+                let res = match learned {
+                    Err(_) => {
+                        self.breaker.record_failure(TripReason::Panic);
+                        return self.classical.range(lo, hi);
+                    }
+                    Ok(r) => r,
+                };
+                // Cheap structural invariants on every call: ascending
+                // keys, all within bounds.
+                let invariant_ok = res.windows(2).all(|w| w[0].0 <= w[1].0)
+                    && res.iter().all(|e| e.0 >= lo && e.0 <= hi);
+                if !invariant_ok {
+                    self.breaker.record_failure(TripReason::InvalidOutput);
+                    return self.classical.range(lo, hi);
+                }
+                if shadow || self.scheduled_audit(nth) {
+                    self.audits.fetch_add(1, Ordering::Relaxed);
+                    let truth = self.classical.range(lo, hi);
+                    if res == truth {
+                        self.breaker.record_success();
+                    } else {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_failure(TripReason::OutOfBand);
+                    }
+                    truth
+                } else {
+                    res
+                }
+            }
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.learned.size_bytes() + self.classical.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerState;
+    use ml4db_index::{BPlusTree, Rmi};
+
+    fn entries(n: u64) -> Vec<KeyValue> {
+        (0..n).map(|k| (k * 7, k)).collect()
+    }
+
+    #[test]
+    fn healthy_learned_index_serves_correctly_and_stays_closed() {
+        let e = entries(5000);
+        let g = GuardedIndex::new(Rmi::build(e.clone(), 64), BPlusTree::bulk_load(&e));
+        for &(k, v) in e.iter().step_by(37) {
+            assert_eq!(g.get(k), Some(v));
+        }
+        assert_eq!(g.get(3), None); // absent key: cross-checked miss
+        assert_eq!(g.range(70, 140), BPlusTree::bulk_load(&e).range(70, 140));
+        assert_eq!(g.breaker().state(), BreakerState::Closed);
+        assert_eq!(g.mismatches(), 0);
+        assert!(g.audits() > 0, "warmup must audit");
+    }
+
+    /// A learned index whose predictions are displaced: misses every
+    /// present key and truncates ranges.
+    struct Displaced {
+        inner: Vec<KeyValue>,
+        k: usize,
+    }
+    impl OrderedIndex for Displaced {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            // Bounded search in a window displaced k slots right of the
+            // true position — present keys fall outside it.
+            let pos = self.inner.partition_point(|e| e.0 < key) + self.k;
+            let lo = pos.min(self.inner.len());
+            let hi = (pos + 2).min(self.inner.len());
+            self.inner[lo..hi].iter().find(|e| e.0 == key).map(|e| e.1)
+        }
+        fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
+            let start = (self.inner.partition_point(|e| e.0 < lo) + self.k)
+                .min(self.inner.len());
+            self.inner[start..].iter().take_while(|e| e.0 <= hi).copied().collect()
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn displaced_predictions_never_serve_wrong_answers() {
+        let e = entries(2000);
+        let g = GuardedIndex::new(
+            Displaced { inner: e.clone(), k: 40 },
+            BPlusTree::bulk_load(&e),
+        );
+        // Every served answer is correct from call one (miss cross-check),
+        // and the breaker trips to classical-only.
+        for &(k, v) in e.iter().step_by(13) {
+            assert_eq!(g.get(k), Some(v), "guard must repair displaced miss");
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Open);
+        assert_eq!(g.breaker().last_trip(), Some(TripReason::OutOfBand));
+        assert!(g.mismatches() > 0);
+    }
+
+    /// A learned index that indexes out of bounds (panics) on every call —
+    /// the unguarded failure mode of an out-of-range prediction.
+    struct OobPanic {
+        inner: Vec<KeyValue>,
+    }
+    impl OrderedIndex for OobPanic {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn get(&self, _key: u64) -> Option<u64> {
+            let oob = self.inner.len() + 17;
+            Some(self.inner[oob].1) // genuine out-of-bounds panic
+        }
+        fn range(&self, _lo: u64, _hi: u64) -> Vec<KeyValue> {
+            let oob = self.inner.len() + 17;
+            vec![self.inner[oob]]
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn oob_panics_are_contained_and_trip_the_breaker() {
+        let e = entries(500);
+        let g = GuardedIndex::new(OobPanic { inner: e.clone() }, BPlusTree::bulk_load(&e));
+        for &(k, v) in e.iter().step_by(29) {
+            assert_eq!(g.get(k), Some(v), "fallback must repair panicking lookup");
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Open);
+        assert_eq!(g.breaker().last_trip(), Some(TripReason::Panic));
+        // Range queries served classical while open are exact.
+        assert_eq!(g.range(0, 100), BPlusTree::bulk_load(&e).range(0, 100));
+    }
+}

@@ -1,0 +1,44 @@
+//! # ml4db-guard — circuit-breaker guardrails for every learned component
+//!
+//! The tutorial's open-problem list puts **robustness** first: learned
+//! database components fail silently (stale models after workload shift),
+//! loudly (NaN estimates, out-of-bound index predictions), or expensively
+//! (steering into catastrophic plans). This crate makes every learned
+//! component in the repo *safe to deploy* by running it side-by-side with
+//! its classical counterpart behind a deterministic circuit breaker:
+//!
+//! * [`breaker`] — the Closed → Open → HalfOpen state machine, driven
+//!   purely by call counts (no clocks) so every run is reproducible;
+//! * [`estimator`] — guarded cardinality estimation: plausibility bands
+//!   vs the classical estimator, drift-detector integration, and
+//!   rebaseline-driven re-admission;
+//! * [`index_guard`] — guarded 1-D learned indexes: miss cross-checks,
+//!   range invariants, scheduled audits, panic containment;
+//! * [`spatial_guard`] — guarded learned spatial indexes: range audits
+//!   and a kNN recall floor against the exact R-tree;
+//! * [`steering`] — guarded plan steering with a per-query latency
+//!   budget enforced by `Env::run_with_timeout`;
+//! * [`chaos`] — the deterministic fault-injection harness that proves
+//!   the above: nine failure modes, each run guarded and raw, with a
+//!   seeded byte-stable report.
+//!
+//! The design invariant throughout: **a tripped guard costs nothing** —
+//! while Open, the guarded component behaves exactly like its classical
+//! baseline — and **trust must be earned** — audits are dense for young
+//! and probationary models, sparse once sustained agreement is observed.
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod chaos;
+pub mod estimator;
+pub mod index_guard;
+pub mod spatial_guard;
+pub mod steering;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Decision, TripReason};
+pub use chaos::{run_all, run_scenario, Fault, ScenarioReport};
+pub use estimator::GuardedCardEstimator;
+pub use index_guard::GuardedIndex;
+pub use spatial_guard::{GuardedSpatial, SpatialModel};
+pub use steering::{GuardedSteering, SteeringPolicy};

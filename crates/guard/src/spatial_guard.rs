@@ -1,0 +1,336 @@
+//! Circuit-breaker guardrail for learned spatial indexes.
+//!
+//! Replacement-paradigm spatial indexes ([`ml4db_spatial::ZmIndex`],
+//! [`ml4db_spatial::RsmiIndex`]) answer range queries exactly *when their
+//! learned CDF is healthy*, but kNN is approximate by construction and a
+//! corrupted model silently drops results. [`GuardedSpatial`] serves such
+//! a model next to the classical [`ml4db_spatial::RTree`]:
+//!
+//! * **range audits** — learned range results are compared set-wise
+//!   against the R-tree on a deterministic schedule (every call during
+//!   warmup/probation, every Nth after). A missing or spurious id is a
+//!   breaker failure, and the audited call serves the exact answer.
+//! * **kNN recall floor** — audited kNN calls are compared against the
+//!   exact best-first R-tree answer; recall below `min_recall` is judged a
+//!   failure. Audited calls serve the exact neighbours.
+//! * **panic containment + Open fallback** — panics are caught and judged;
+//!   while Open every query is answered by the R-tree alone.
+//!
+//! The learned side plugs in through [`SpatialModel`], implemented here
+//! for the crate's replacement indexes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ml4db_spatial::{Point, Rect, RsmiIndex, RTree, ZmIndex};
+
+use crate::breaker::{BreakerConfig, CircuitBreaker, Decision, TripReason};
+
+/// The learned side of a guarded spatial index: range + approximate kNN.
+pub trait SpatialModel {
+    /// Ids of stored points inside `query` (any order).
+    fn range(&self, query: &Rect) -> Vec<usize>;
+    /// Approximately the `k` nearest stored points to `point`.
+    fn knn(&self, point: &Point, k: usize) -> Vec<usize>;
+    /// Number of stored points.
+    fn len(&self) -> usize;
+    /// True when no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Candidate window used for the approximate-kNN adapters below.
+const KNN_WINDOW: usize = 256;
+
+impl SpatialModel for ZmIndex {
+    fn range(&self, query: &Rect) -> Vec<usize> {
+        self.range_query(query).0
+    }
+    fn knn(&self, point: &Point, k: usize) -> Vec<usize> {
+        self.knn_approximate(point, k, KNN_WINDOW)
+    }
+    fn len(&self) -> usize {
+        self.len()
+    }
+}
+
+impl SpatialModel for RsmiIndex {
+    fn range(&self, query: &Rect) -> Vec<usize> {
+        self.range_query(query).0
+    }
+    fn knn(&self, point: &Point, k: usize) -> Vec<usize> {
+        self.knn_approximate(point, k, KNN_WINDOW)
+    }
+    fn len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A learned spatial index guarded by a classical R-tree.
+pub struct GuardedSpatial<L> {
+    /// The learned index.
+    pub learned: L,
+    /// The exact classical baseline.
+    pub classical: RTree,
+    /// Minimum acceptable kNN recall on audited calls.
+    pub min_recall: f64,
+    /// Audit every call for the first this-many learned calls.
+    pub warmup_audits: u64,
+    /// After warmup, audit every Nth learned call (0 disables).
+    pub audit_every: u64,
+    breaker: CircuitBreaker,
+    learned_calls: AtomicU64,
+    audits: AtomicU64,
+    mismatches: AtomicU64,
+}
+
+impl<L: SpatialModel> GuardedSpatial<L> {
+    /// Guards `learned` with `classical` under default thresholds
+    /// (kNN recall floor 0.6, warmup 16, audit every 8th call).
+    ///
+    /// # Panics
+    /// Panics if the two sides disagree on entry count.
+    pub fn new(learned: L, classical: RTree) -> Self {
+        Self::with_config(learned, classical, 0.6, BreakerConfig::default(), 16, 8)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_config(
+        learned: L,
+        classical: RTree,
+        min_recall: f64,
+        cfg: BreakerConfig,
+        warmup_audits: u64,
+        audit_every: u64,
+    ) -> Self {
+        assert_eq!(
+            learned.len(),
+            classical.len(),
+            "guarded spatial index requires both sides to index the same data"
+        );
+        assert!((0.0..=1.0).contains(&min_recall));
+        Self {
+            learned,
+            classical,
+            min_recall,
+            warmup_audits,
+            audit_every,
+            breaker: CircuitBreaker::new(cfg),
+            learned_calls: AtomicU64::new(0),
+            audits: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+        }
+    }
+
+    /// The breaker, for state inspection and telemetry.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Number of audits performed.
+    pub fn audits(&self) -> u64 {
+        self.audits.load(Ordering::Relaxed)
+    }
+
+    /// Number of audited calls that failed their check.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches.load(Ordering::Relaxed)
+    }
+
+    fn scheduled_audit(&self, nth_learned_call: u64) -> bool {
+        nth_learned_call <= self.warmup_audits
+            || (self.audit_every > 0 && nth_learned_call % self.audit_every == 0)
+    }
+
+    /// Range query: ids of stored points inside `query`, sorted. Audited
+    /// calls serve the exact classical answer; correctness failures count
+    /// against the breaker.
+    pub fn range_query(&self, query: &Rect) -> Vec<usize> {
+        let classical_sorted = |out: &mut Vec<usize>| {
+            out.sort_unstable();
+        };
+        match self.breaker.begin_call() {
+            Decision::UseClassical => {
+                let (mut ids, _) = self.classical.range_query(query);
+                classical_sorted(&mut ids);
+                ids
+            }
+            Decision::UseLearned { shadow } => {
+                let nth = self.learned_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                let learned =
+                    catch_unwind(AssertUnwindSafe(|| self.learned.range(query)));
+                let mut res = match learned {
+                    Err(_) => {
+                        self.breaker.record_failure(TripReason::Panic);
+                        let (mut ids, _) = self.classical.range_query(query);
+                        classical_sorted(&mut ids);
+                        return ids;
+                    }
+                    Ok(r) => r,
+                };
+                res.sort_unstable();
+                if shadow || self.scheduled_audit(nth) {
+                    self.audits.fetch_add(1, Ordering::Relaxed);
+                    let (mut truth, _) = self.classical.range_query(query);
+                    classical_sorted(&mut truth);
+                    if res == truth {
+                        self.breaker.record_success();
+                    } else {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_failure(TripReason::OutOfBand);
+                    }
+                    truth
+                } else {
+                    res
+                }
+            }
+        }
+    }
+
+    /// kNN query. Audited calls serve the exact classical neighbours and
+    /// judge the learned answer's recall against `min_recall`.
+    pub fn knn(&self, point: &Point, k: usize) -> Vec<usize> {
+        match self.breaker.begin_call() {
+            Decision::UseClassical => self.classical.knn(point, k).0,
+            Decision::UseLearned { shadow } => {
+                let nth = self.learned_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                let learned =
+                    catch_unwind(AssertUnwindSafe(|| self.learned.knn(point, k)));
+                let res = match learned {
+                    Err(_) => {
+                        self.breaker.record_failure(TripReason::Panic);
+                        return self.classical.knn(point, k).0;
+                    }
+                    Ok(r) => r,
+                };
+                // Structural check every call: an approximate kNN must
+                // still return k results when k points exist.
+                if res.len() < k.min(self.learned.len()) {
+                    self.breaker.record_failure(TripReason::InvalidOutput);
+                    return self.classical.knn(point, k).0;
+                }
+                if shadow || self.scheduled_audit(nth) {
+                    self.audits.fetch_add(1, Ordering::Relaxed);
+                    let (truth, _) = self.classical.knn(point, k);
+                    let truth_set: std::collections::BTreeSet<usize> =
+                        truth.iter().copied().collect();
+                    let hit = res.iter().filter(|id| truth_set.contains(id)).count();
+                    let recall =
+                        if truth.is_empty() { 1.0 } else { hit as f64 / truth.len() as f64 };
+                    if recall >= self.min_recall {
+                        self.breaker.record_success();
+                    } else {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_failure(TripReason::OutOfBand);
+                    }
+                    truth
+                } else {
+                    res
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerState;
+    use ml4db_spatial::data::{generate_points, unit_domain, SpatialDistribution};
+    use ml4db_spatial::Entry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Vec<Entry>, RTree) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts =
+            generate_points(SpatialDistribution::Clustered { clusters: 5 }, n, &mut rng);
+        let rt = RTree::bulk_load_str(&pts);
+        (pts, rt)
+    }
+
+    fn brute_range(entries: &[Entry], q: &Rect) -> Vec<usize> {
+        let mut v: Vec<usize> = entries
+            .iter()
+            .filter(|e| q.contains_point(&e.rect.center()))
+            .map(|e| e.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn healthy_zm_serves_exact_ranges_and_stays_closed() {
+        let (pts, rt) = setup(2000, 11);
+        let zm = ZmIndex::build(pts.clone(), unit_domain(), 16);
+        let g = GuardedSpatial::new(zm, rt);
+        for i in 0..24u64 {
+            let lo = 40.0 * (i % 5) as f64;
+            let q = Rect::new(
+                Point::new(lo, lo),
+                Point::new(lo + 300.0, lo + 280.0),
+            );
+            // ZM ranges are exact while the model is healthy; every result
+            // (audited or not) matches brute force because the R-tree
+            // intersects degenerate point-rects exactly when the rect
+            // contains the point.
+            assert_eq!(g.range_query(&q), brute_range(&pts, &q));
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Closed);
+        assert_eq!(g.mismatches(), 0);
+    }
+
+    /// A spatial model that silently drops a fraction of range results and
+    /// answers kNN from the wrong region — the corrupted-CDF failure mode.
+    struct Corrupted {
+        inner: ZmIndex,
+    }
+    impl SpatialModel for Corrupted {
+        fn range(&self, query: &Rect) -> Vec<usize> {
+            let mut ids = self.inner.range_query(query).0;
+            let keep = ids.len() / 2;
+            ids.truncate(keep);
+            ids
+        }
+        fn knn(&self, point: &Point, k: usize) -> Vec<usize> {
+            // Probe a displaced point: recall collapses.
+            let off = Point::new(point.x * 0.1, 1000.0 - point.y);
+            self.inner.knn_approximate(&off, k, 4)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+    }
+
+    #[test]
+    fn corrupted_model_trips_and_serves_exact_answers() {
+        let (pts, rt) = setup(2000, 12);
+        let zm = ZmIndex::build(pts.clone(), unit_domain(), 16);
+        let g = GuardedSpatial::new(Corrupted { inner: zm }, rt);
+        let q = Rect::new(Point::new(100.0, 100.0), Point::new(700.0, 700.0));
+        for _ in 0..8 {
+            // Audited calls repair the dropped half; once Open, classical
+            // serves — either way the answer is exact.
+            assert_eq!(g.range_query(&q), brute_range(&pts, &q));
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Open);
+        assert_eq!(g.breaker().last_trip(), Some(TripReason::OutOfBand));
+        assert!(g.mismatches() > 0);
+    }
+
+    #[test]
+    fn knn_recall_floor_is_enforced() {
+        let (pts, rt) = setup(3000, 13);
+        let zm = ZmIndex::build(pts.clone(), unit_domain(), 16);
+        let g = GuardedSpatial::new(Corrupted { inner: zm }, rt.clone());
+        let probe = pts[pts.len() / 3].rect.center();
+        for _ in 0..8 {
+            let got = g.knn(&probe, 10);
+            // Audited (warmup) calls serve the exact answer; Open calls
+            // serve classical. Both equal the R-tree's exact kNN.
+            assert_eq!(got, rt.knn(&probe, 10).0);
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Open);
+    }
+}

@@ -133,15 +133,27 @@ impl<'a> Env<'a> {
     /// is what evaluation harnesses should charge as the baseline — it
     /// never re-runs the expert for a query it has already measured.
     pub fn expert_latency(&self, query: &Query) -> Option<f64> {
+        // Recover from poisoning rather than unwrap: a worker thread that
+        // panicked mid-evaluation (e.g. a faulty learned planner) must not
+        // cascade into every later expert-latency lookup. The cached map
+        // is just f64s — always valid, even if a panic interleaved.
         let key = CacheKey::new(query, HintSet::all(), self.epoch());
-        if let Some(&lat) = self.expert_latency_cache.lock().unwrap().get(&key) {
+        if let Some(&lat) = self
+            .expert_latency_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             return Some(lat);
         }
         // Plan + run outside the lock (both deterministic; a racing
         // thread computes the same value).
         let plan = self.expert_plan(query)?;
         let lat = self.run(query, &plan);
-        self.expert_latency_cache.lock().unwrap().insert(key, lat);
+        self.expert_latency_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, lat);
         Some(lat)
     }
 
@@ -254,6 +266,27 @@ mod tests {
         assert_eq!(fa.len(), PLAN_FEATURE_DIM);
         assert_eq!(fb.len(), PLAN_FEATURE_DIM);
         assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn expert_latency_survives_poisoned_cache() {
+        let db = db();
+        let env = std::sync::Arc::new(Env::new(&db));
+        let q = query();
+        let baseline = env.expert_latency(&q).unwrap();
+        // Poison the latency-cache mutex from a panicking thread, the way
+        // a faulty learned planner inside a par_map worker would.
+        let env2 = env.clone();
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = env2.expert_latency_cache.lock().unwrap();
+                panic!("poison the latency cache");
+            })
+            .join()
+        });
+        assert!(env.expert_latency_cache.is_poisoned());
+        // Lookups must keep working (and stay deterministic) afterwards.
+        assert_eq!(env.expert_latency(&q).unwrap(), baseline);
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub struct EvalReport {
     pub relative_total: f64,
 }
 
+impl EvalReport {
+    /// Builds a report from `(latency, expert_latency)` pairs — the shared
+    /// accounting used by [`evaluate`], the timeout-fallback variant, and
+    /// external guarded harnesses.
+    ///
+    /// # Panics
+    /// Panics on an empty workload.
+    pub fn from_pairs(per_query: &[(f64, f64)]) -> Self {
+        let latencies: Vec<f64> = per_query.iter().map(|&(lat, _)| lat).collect();
+        let regressions =
+            per_query.iter().filter(|&&(lat, expert)| lat > expert * 2.0).count();
+        let tail = tail_summary(&latencies).expect("non-empty workload");
+        let total: f64 = latencies.iter().sum();
+        let expert_total: f64 =
+            per_query.iter().map(|&(_, expert)| expert).sum::<f64>().max(1e-9);
+        EvalReport { latencies, tail, regressions, relative_total: total / expert_total }
+    }
+}
+
 /// Evaluates a plan-producing closure against the expert on a workload.
 ///
 /// Per-query work (expert baseline + learned plan + execution) fans out
@@ -50,14 +69,32 @@ pub fn evaluate(
         };
         (lat, expert_lat)
     });
-    let latencies: Vec<f64> = per_query.iter().map(|&(lat, _)| lat).collect();
-    let regressions =
-        per_query.iter().filter(|&&(lat, expert)| lat > expert * 2.0).count();
-    let tail = tail_summary(&latencies).expect("non-empty workload");
-    let total: f64 = latencies.iter().sum();
-    let expert_total: f64 =
-        per_query.iter().map(|&(_, expert)| expert).sum::<f64>().max(1e-9);
-    EvalReport { latencies, tail, regressions, relative_total: total / expert_total }
+    EvalReport::from_pairs(&per_query)
+}
+
+/// Like [`evaluate`], but every learned plan runs under a latency budget
+/// of `budget_factor ×` the expert's latency. A plan that exceeds its
+/// budget is aborted and charged `budget + expert` (abort, then serve the
+/// expert plan) — so no single query can regress beyond
+/// `(1 + budget_factor) ×` the expert, no matter how adversarial the
+/// planner. Deterministic and in input order like [`evaluate`].
+pub fn evaluate_with_timeout_fallback(
+    env: &Env,
+    queries: &[Query],
+    budget_factor: f64,
+    planner: impl Fn(&Env, &Query) -> Option<ml4db_plan::PlanNode> + Sync,
+) -> EvalReport {
+    assert!(budget_factor > 0.0);
+    let per_query: Vec<(f64, f64)> = ml4db_par::par_map(queries, |q| {
+        let expert_lat = env.expert_latency(q).expect("expert always plans");
+        let budget = budget_factor * expert_lat;
+        let lat = match planner(env, q) {
+            Some(p) => env.run_with_timeout(q, &p, budget).unwrap_or(budget + expert_lat),
+            None => expert_lat,
+        };
+        (lat, expert_lat)
+    });
+    EvalReport::from_pairs(&per_query)
 }
 
 /// Splits a workload into (seen, unseen) by template signature: templates
@@ -120,6 +157,35 @@ mod tests {
         .generate_many(&db, 5, &mut rng);
         let report = evaluate(&env, &queries, |_, _| None);
         assert!((report.relative_total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_fallback_bounds_every_regression() {
+        let db = db();
+        let env = Env::new(&db);
+        let mut rng = StdRng::seed_from_u64(4);
+        let queries = ml4db_datagen::WorkloadGenerator::new(
+            ml4db_datagen::SchemaGraph::joblite(),
+            Default::default(),
+        )
+        .generate_many(&db, 12, &mut rng);
+        let factor = 1.2;
+        // Adversarial planner: the highest-estimated-cost hint arm.
+        let report = evaluate_with_timeout_fallback(&env, &queries, factor, |env, q| {
+            ml4db_plan::all_hint_sets()
+                .iter()
+                .filter_map(|h| env.plan_with_hint(q, *h))
+                .max_by(|a, b| {
+                    a.est_cost.partial_cmp(&b.est_cost).unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+        for (lat, q) in report.latencies.iter().zip(&queries) {
+            let expert = env.expert_latency(q).unwrap();
+            assert!(
+                *lat <= (1.0 + factor) * expert + 1e-6,
+                "latency {lat} exceeds abort bound for expert {expert}"
+            );
+        }
     }
 
     #[test]

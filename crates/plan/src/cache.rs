@@ -135,6 +135,17 @@ impl PlanCache {
         &self.shards[(h.finish() % self.shards.len() as u64) as usize]
     }
 
+    /// Locks a shard, recovering from poisoning. A worker thread that
+    /// panicked while holding a shard lock (e.g. a faulty learned
+    /// component inside a `par_map` evaluation) must not take the whole
+    /// cache down with it: the maps only ever hold fully-constructed
+    /// plans, so the data is valid regardless of where the panic landed.
+    fn lock_shard<'s>(
+        shard: &'s Mutex<HashMap<CacheKey, Option<PlanNode>>>,
+    ) -> std::sync::MutexGuard<'s, HashMap<CacheKey, Option<PlanNode>>> {
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Returns the cached plan for `key`, or computes it with `plan_fn`,
     /// stores it, and returns it. `plan_fn` runs outside the shard lock;
     /// it must be a deterministic function of the key (see module docs).
@@ -143,19 +154,19 @@ impl PlanCache {
         key: CacheKey,
         plan_fn: impl FnOnce() -> Option<PlanNode>,
     ) -> Option<PlanNode> {
-        if let Some(cached) = self.shard(&key).lock().unwrap().get(&key) {
+        if let Some(cached) = Self::lock_shard(self.shard(&key)).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = plan_fn();
-        self.shard(&key).lock().unwrap().insert(key, value.clone());
+        Self::lock_shard(self.shard(&key)).insert(key, value.clone());
         value
     }
 
     /// Probes without computing on miss.
     pub fn get(&self, key: &CacheKey) -> Option<Option<PlanNode>> {
-        let found = self.shard(key).lock().unwrap().get(key).cloned();
+        let found = Self::lock_shard(self.shard(key)).get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -186,7 +197,7 @@ impl PlanCache {
 
     /// Entries currently resident (across every epoch still stored).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// True when no entries are resident.
@@ -197,7 +208,7 @@ impl PlanCache {
     /// Drops all entries and zeroes the counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap().clear();
+            Self::lock_shard(s).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
@@ -298,6 +309,29 @@ mod tests {
 
         // Same weights → same epoch, order-independent.
         assert_eq!(epoch_of(&m1.weights), epoch_of(&CostModel::default().weights));
+    }
+
+    #[test]
+    fn survives_poisoned_shard() {
+        let cache = PlanCache::with_shards(1);
+        let key = CacheKey { fingerprint: 42, epoch: 1 };
+        cache.get_or_insert_with(key, || None);
+        // Poison the single shard from a panicking thread.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.shards[0].lock().unwrap();
+                panic!("poison the shard");
+            })
+            .join()
+        });
+        assert!(cache.shards[0].is_poisoned());
+        // Reads, writes, len and clear must all keep working.
+        assert_eq!(cache.get(&key), Some(None));
+        let other = CacheKey { fingerprint: 43, epoch: 1 };
+        cache.get_or_insert_with(other, || None);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

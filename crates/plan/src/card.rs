@@ -13,6 +13,30 @@ use ml4db_storage::{CmpOp, Database};
 use crate::plan::{JoinAlgo, PlanNode, ScanAlgo};
 use crate::query::Query;
 
+/// Upper clamp for sanitized cardinalities (rows). Far above any join the
+/// suite can produce, yet finite so downstream cost arithmetic stays
+/// finite too.
+pub const MAX_CARD: f64 = 1e18;
+
+/// Clamps an estimator output into the domain every planner assumes:
+/// finite and in `[1, MAX_CARD]`.
+///
+/// Learned estimators can emit NaN (uninitialized weights, 0/0 in a
+/// normalizer), ±∞ (overflowing exponentials), or non-positive values.
+/// Unsanitized, those poison plan choice silently: DP cost comparisons use
+/// `partial_cmp(..).unwrap_or(Equal)`, so a NaN cost *ties with
+/// everything* and whichever candidate happens to be visited first wins.
+/// NaN and +∞ map to `MAX_CARD` — an unusable estimate is treated as
+/// "pessimistically huge" so plans relying on it rank last rather than
+/// first (mapping to the floor would make garbage look free).
+pub fn sanitize_card(est: f64) -> f64 {
+    if est.is_nan() || est == f64::INFINITY {
+        MAX_CARD
+    } else {
+        est.clamp(1.0, MAX_CARD)
+    }
+}
+
 /// Estimates output cardinalities of connected sub-joins.
 ///
 /// `mask` selects a subset of the query's tables; the estimate is the row
@@ -25,6 +49,13 @@ pub trait CardEstimator {
     /// Estimated rows of scanning one table with its predicates.
     fn estimate_scan(&self, db: &Database, query: &Query, table: usize) -> f64 {
         self.estimate(db, query, 1 << table)
+    }
+
+    /// [`CardEstimator::estimate`] passed through [`sanitize_card`] — the
+    /// form every planner boundary consumes, guaranteeing finite positive
+    /// cardinalities no matter what the model emits.
+    fn estimate_sanitized(&self, db: &Database, query: &Query, mask: u64) -> f64 {
+        sanitize_card(self.estimate(db, query, mask))
     }
 }
 

@@ -79,7 +79,7 @@ impl CostModel {
         plan: &mut PlanNode,
         est: &dyn CardEstimator,
     ) -> f64 {
-        let out = est.estimate(db, query, plan.mask);
+        let out = est.estimate_sanitized(db, query, plan.mask);
         plan.est_rows = out;
         let own = match &plan.op {
             PlanOp::Scan { table, algo, predicates, index_column } => {
@@ -101,8 +101,8 @@ impl CostModel {
                 self.scan_cost(*algo, n, predicates.len() as f64, matched)
             }
             PlanOp::Join { algo, .. } => {
-                let l = est.estimate(db, query, plan.children[0].mask);
-                let r = est.estimate(db, query, plan.children[1].mask);
+                let l = est.estimate_sanitized(db, query, plan.children[0].mask);
+                let r = est.estimate_sanitized(db, query, plan.children[1].mask);
                 self.join_cost(*algo, l, r, out)
             }
         };

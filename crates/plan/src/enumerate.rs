@@ -119,7 +119,7 @@ impl Planner {
                 {
                     let (lc, lp) = best[sub as usize].clone().expect("checked");
                     let (rc, rp) = best[rest as usize].clone().expect("checked");
-                    let out = est.estimate(db, query, mask);
+                    let out = est.estimate_sanitized(db, query, mask);
                     let l_rows = lp.est_rows;
                     let r_rows = rp.est_rows;
                     for &algo in &joins {
@@ -178,7 +178,7 @@ impl Planner {
                     if i == j || query.edges_between(parts[i].mask, parts[j].mask).is_empty() {
                         continue;
                     }
-                    let out = est.estimate(db, query, parts[i].mask | parts[j].mask);
+                    let out = est.estimate_sanitized(db, query, parts[i].mask | parts[j].mask);
                     for &algo in &joins {
                         let own = self.cost_model.join_cost(
                             algo,
@@ -202,7 +202,7 @@ impl Planner {
             // Recover original operand order.
             let (l, r) = if i < j { (left, right) } else { (right, left) };
             let mut node = PlanNode::join(query, algo, l, r);
-            node.est_rows = est.estimate(db, query, node.mask);
+            node.est_rows = est.estimate_sanitized(db, query, node.mask);
             parts.push(node);
         }
         let mut plan = parts.pop()?;
@@ -375,6 +375,47 @@ mod tests {
         plan.validate().unwrap();
         assert_eq!(plan.mask, q.full_mask());
         execute(&db, &q, &plan).unwrap();
+    }
+
+    /// An estimator gone wrong: NaN on every join, -∞ on scans — the raw
+    /// output of an unconverged or corrupted learned model.
+    struct NanEstimator;
+    impl CardEstimator for NanEstimator {
+        fn estimate(&self, _: &Database, _: &Query, mask: u64) -> f64 {
+            if mask.count_ones() > 1 {
+                f64::NAN
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+    }
+
+    #[test]
+    fn nan_estimates_still_yield_valid_executable_plans() {
+        // Regression test for the planner boundary: before sanitization a
+        // NaN cardinality tied with every candidate in the DP's
+        // `partial_cmp(..).unwrap_or(Equal)` comparisons, silently picking
+        // an arbitrary plan with NaN annotations. Sanitized, both DP and
+        // greedy must return structurally valid, finitely-annotated plans
+        // that execute.
+        let db = db();
+        let q = three_way();
+        for plan in [
+            Planner::default().best_plan(&db, &q, &NanEstimator).unwrap(),
+            Planner::default().greedy_plan(&db, &q, &NanEstimator).unwrap(),
+        ] {
+            plan.validate().unwrap();
+            assert_eq!(plan.mask, q.full_mask());
+            plan.walk(&mut |n| {
+                assert!(
+                    n.est_rows.is_finite() && n.est_rows >= 1.0,
+                    "unsanitized est_rows {} escaped",
+                    n.est_rows
+                );
+                assert!(n.est_cost.is_finite(), "non-finite est_cost escaped");
+            });
+            execute(&db, &q, &plan).unwrap();
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod plan;
 pub mod query;
 
 pub use cache::{epoch_of, CacheKey, PlanCache};
-pub use card::{CardEstimator, ClassicEstimator, TrueCardinality};
+pub use card::{sanitize_card, CardEstimator, ClassicEstimator, TrueCardinality, MAX_CARD};
 pub use cost::CostModel;
 pub use enumerate::{PlanShape, Planner};
 pub use executor::{execute, execute_with_timeout, ExecOutcome, ExecResult};

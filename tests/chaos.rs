@@ -1,0 +1,111 @@
+//! The chaos acceptance suite: every learned component survives every
+//! injected fault when guarded, several faults demonstrably break the
+//! system when unguarded, and the whole harness is byte-deterministic
+//! across thread counts.
+//!
+//! Run with `cargo test --test chaos`; CI runs it under both default
+//! threading and `ML4DB_THREADS=1` and the reports must agree bit for
+//! bit.
+
+use ml4db_core::par;
+use ml4db_guard::chaos::{run_all, run_scenario, Fault, ScenarioReport};
+
+const SEED: u64 = 2024;
+
+fn by_name<'r>(reports: &'r [ScenarioReport], name: &str) -> &'r ScenarioReport {
+    reports
+        .iter()
+        .find(|r| r.fault == name)
+        .unwrap_or_else(|| panic!("no scenario named {name}"))
+}
+
+/// Guarded, every scenario passes: no escaped panic, zero wrong served
+/// answers, total latency within 1.5× of the pure-classical baseline.
+#[test]
+fn every_guarded_scenario_passes() {
+    for r in run_all(true, SEED) {
+        assert!(
+            r.passes(),
+            "guarded scenario failed its contract: {r:?}"
+        );
+    }
+}
+
+/// Every fault is severe enough that the guard actually trips — the
+/// scenarios exercise the breaker, they don't coast on healthy models.
+#[test]
+fn every_guarded_scenario_trips_its_breaker() {
+    for r in run_all(true, SEED) {
+        assert!(r.tripped, "fault never tripped the breaker: {r:?}");
+    }
+}
+
+/// Unguarded, the faults do real damage — panics escape, wrong answers
+/// are served, latency regresses without bound. At least three scenarios
+/// must demonstrably fail, so the guard is proven against failures that
+/// actually happen.
+#[test]
+fn unguarded_faults_demonstrably_fail() {
+    let reports = run_all(false, SEED);
+    let failing: Vec<&ScenarioReport> =
+        reports.iter().filter(|r| !r.passes()).collect();
+    assert!(
+        failing.len() >= 3,
+        "expected at least 3 demonstrable unguarded failures, got {}: {reports:?}",
+        failing.len()
+    );
+    // The specific failure modes, by kind:
+    assert!(
+        by_name(&reports, "panicking-policy").panicked,
+        "a panicking steering policy must escape unguarded"
+    );
+    assert!(
+        by_name(&reports, "oob-index-panic").panicked,
+        "an out-of-bounds index prediction must panic unguarded"
+    );
+    assert!(
+        by_name(&reports, "displaced-index").wrong_answers > 0,
+        "displaced index predictions must serve wrong answers unguarded"
+    );
+    assert!(
+        by_name(&reports, "spatial-displaced").wrong_answers > 0,
+        "a corrupted spatial model must serve wrong answers unguarded"
+    );
+    assert!(
+        by_name(&reports, "constant-zero-estimator").regression_factor > 1.5,
+        "a constant-zero estimator must cause an unbounded latency regression unguarded"
+    );
+}
+
+/// While a breaker is Open the guarded system serves the classical
+/// baseline verbatim, so scenarios whose faults always get caught sit at
+/// exact latency parity — not just within the 1.5× envelope.
+#[test]
+fn tripped_estimator_guards_run_at_classical_parity() {
+    for fault in [Fault::NanEstimates, Fault::InfEstimates, Fault::ConstantZero] {
+        let r = run_scenario(fault, true, SEED);
+        assert!(
+            (r.regression_factor - 1.0).abs() < 1e-9,
+            "guarded {} should match the classical baseline exactly: {r:?}",
+            r.fault
+        );
+    }
+}
+
+/// The whole harness — both guarded and unguarded sweeps — is a pure
+/// function of `(fault, guarded, seed)`: reports are bit-identical
+/// between 1 thread and many, the same guarantee `ML4DB_THREADS=1` CI
+/// checks from the environment side.
+#[test]
+fn chaos_reports_identical_across_thread_counts() {
+    let sweep_at = |threads: usize| -> Vec<u64> {
+        let prev = par::set_threads(threads);
+        let mut bits: Vec<u64> =
+            run_all(true, SEED).iter().map(|r| r.bits()).collect();
+        bits.extend(run_all(false, SEED).iter().map(|r| r.bits()));
+        par::set_threads(prev);
+        bits
+    };
+    let serial = sweep_at(1);
+    assert_eq!(sweep_at(4), serial, "chaos reports diverged at 4 threads");
+}
