@@ -28,6 +28,7 @@ pub use ml4db_datagen as datagen;
 pub use ml4db_guard as guard;
 pub use ml4db_index as index;
 pub use ml4db_nn as nn;
+pub use ml4db_obs as obs;
 pub use ml4db_optimizer as optimizer;
 pub use ml4db_par as par;
 pub use ml4db_plan as plan;

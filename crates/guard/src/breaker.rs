@@ -33,6 +33,17 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+impl BreakerState {
+    /// Stable snake_case label used in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
 /// Why a breaker tripped (or a single call was rejected).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TripReason {
@@ -49,6 +60,19 @@ pub enum TripReason {
     LatencyRegression,
     /// The learned component panicked (caught at the guard boundary).
     Panic,
+}
+
+impl TripReason {
+    /// Stable snake_case label used in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TripReason::InvalidOutput => "invalid_output",
+            TripReason::OutOfBand => "out_of_band",
+            TripReason::Drift => "drift",
+            TripReason::LatencyRegression => "latency_regression",
+            TripReason::Panic => "panic",
+        }
+    }
 }
 
 /// Tunable breaker thresholds. All counts, no clocks.
@@ -108,6 +132,8 @@ struct Inner {
 #[derive(Debug)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
+    /// Component label carried on every trace event this breaker emits.
+    name: &'static str,
     inner: Mutex<Inner>,
 }
 
@@ -118,10 +144,18 @@ impl Default for CircuitBreaker {
 }
 
 impl CircuitBreaker {
-    /// A closed breaker with the given thresholds.
+    /// A closed breaker with the given thresholds and the generic
+    /// component label; prefer [`CircuitBreaker::named`] so trace events
+    /// say which guardrail moved.
     pub fn new(cfg: BreakerConfig) -> Self {
+        Self::named("component", cfg)
+    }
+
+    /// A closed breaker whose trace events are labelled `name`.
+    pub fn named(name: &'static str, cfg: BreakerConfig) -> Self {
         Self {
             cfg,
+            name,
             inner: Mutex::new(Inner {
                 state: BreakerState::Closed,
                 failures: 0,
@@ -133,6 +167,22 @@ impl CircuitBreaker {
                 fallbacks: 0,
             }),
         }
+    }
+
+    /// The component label trace events carry.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Reports one state transition to the observability sink.
+    fn observe_transition(&self, from: BreakerState, to: BreakerState, reason: &'static str) {
+        ml4db_obs::emit_with(|| ml4db_obs::Event::GuardTransition {
+            component: self.name,
+            from: from.as_str(),
+            to: to.as_str(),
+            reason,
+        });
+        ml4db_obs::counter_add("guard.transitions", 1);
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -198,6 +248,11 @@ impl CircuitBreaker {
                 if g.opened_for >= self.cfg.open_calls {
                     g.state = BreakerState::HalfOpen;
                     g.probation_ok = 0;
+                    self.observe_transition(
+                        BreakerState::Open,
+                        BreakerState::HalfOpen,
+                        "cooldown_elapsed",
+                    );
                 }
                 Decision::UseClassical
             }
@@ -214,6 +269,11 @@ impl CircuitBreaker {
                 if g.probation_ok >= self.cfg.probation_successes {
                     g.state = BreakerState::Closed;
                     g.failures = 0;
+                    self.observe_transition(
+                        BreakerState::HalfOpen,
+                        BreakerState::Closed,
+                        "probation_complete",
+                    );
                 }
             }
             BreakerState::Open => {}
@@ -225,14 +285,19 @@ impl CircuitBreaker {
     pub fn record_failure(&self, why: TripReason) {
         let mut g = self.lock();
         g.fallbacks += 1;
+        ml4db_obs::emit_with(|| ml4db_obs::Event::GuardFallback {
+            component: self.name,
+            reason: why.as_str(),
+        });
+        ml4db_obs::counter_add("guard.fallbacks", 1);
         match g.state {
             BreakerState::Closed => {
                 g.failures += 1;
                 if g.failures >= self.cfg.failure_budget {
-                    Self::trip(&mut g, why);
+                    self.trip(&mut g, why);
                 }
             }
-            BreakerState::HalfOpen => Self::trip(&mut g, why),
+            BreakerState::HalfOpen => self.trip(&mut g, why),
             BreakerState::Open => {}
         }
     }
@@ -242,7 +307,7 @@ impl CircuitBreaker {
     pub fn force_open(&self, why: TripReason) {
         let mut g = self.lock();
         if g.state != BreakerState::Open {
-            Self::trip(&mut g, why);
+            self.trip(&mut g, why);
         }
     }
 
@@ -250,26 +315,37 @@ impl CircuitBreaker {
     /// re-admission hook called after a model retrains or rebaselines.
     pub fn begin_probation(&self) {
         let mut g = self.lock();
+        let from = g.state;
         g.state = BreakerState::HalfOpen;
         g.probation_ok = 0;
+        if from != BreakerState::HalfOpen {
+            self.observe_transition(from, BreakerState::HalfOpen, "rebaseline");
+        }
     }
 
     /// Resets to a fresh Closed breaker (counters preserved only for
     /// `calls`/`fallbacks`/`trips` telemetry).
     pub fn reset(&self) {
         let mut g = self.lock();
+        let from = g.state;
         g.state = BreakerState::Closed;
         g.failures = 0;
         g.opened_for = 0;
         g.probation_ok = 0;
+        if from != BreakerState::Closed {
+            self.observe_transition(from, BreakerState::Closed, "reset");
+        }
     }
 
-    fn trip(g: &mut Inner, why: TripReason) {
+    fn trip(&self, g: &mut Inner, why: TripReason) {
+        let from = g.state;
         g.state = BreakerState::Open;
         g.opened_for = 0;
         g.probation_ok = 0;
         g.trips += 1;
         g.last_trip = Some(why);
+        self.observe_transition(from, BreakerState::Open, why.as_str());
+        ml4db_obs::counter_add("guard.trips", 1);
     }
 }
 

@@ -298,28 +298,33 @@ fn run_estimator_scenario(
     let mut wrong = 0u64;
     let mut panicked = false;
     for q in &queries {
-        let classical_plan =
-            planner.best_plan(&db, q, &ClassicEstimator).expect("classical plans");
-        let classical_lat = execute(&db, q, &classical_plan).expect("executes").latency_us;
-        classical_total += classical_lat;
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let plan = planner.best_plan(&db, q, est).expect("planner returns a plan");
-            let res = execute(&db, q, &plan).expect("plan executes");
-            let got = multiset(&db, q, &res.rows, &res.layout);
-            let identity: Vec<usize> = (0..q.num_tables()).collect();
-            let truth = multiset(&db, q, &naive_execute(&db, q).expect("naive"), &identity);
-            (res.latency_us, got != truth)
-        }));
-        match outcome {
-            Ok((lat, mismatch)) => {
-                total += lat;
-                wrong += u64::from(mismatch);
+        // Attribute everything this query triggers — planning, guard
+        // fallbacks and trips, per-operator execution — to its
+        // fingerprint in the trace.
+        ml4db_obs::with_query(q.fingerprint(), || {
+            let classical_plan =
+                planner.best_plan(&db, q, &ClassicEstimator).expect("classical plans");
+            let classical_lat = execute(&db, q, &classical_plan).expect("executes").latency_us;
+            classical_total += classical_lat;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let plan = planner.best_plan(&db, q, est).expect("planner returns a plan");
+                let res = execute(&db, q, &plan).expect("plan executes");
+                let got = multiset(&db, q, &res.rows, &res.layout);
+                let identity: Vec<usize> = (0..q.num_tables()).collect();
+                let truth = multiset(&db, q, &naive_execute(&db, q).expect("naive"), &identity);
+                (res.latency_us, got != truth)
+            }));
+            match outcome {
+                Ok((lat, mismatch)) => {
+                    total += lat;
+                    wrong += u64::from(mismatch);
+                }
+                Err(_) => {
+                    panicked = true;
+                    total += classical_lat;
+                }
             }
-            Err(_) => {
-                panicked = true;
-                total += classical_lat;
-            }
-        }
+        });
     }
     ScenarioReport {
         fault: fault.name().to_string(),
@@ -375,27 +380,31 @@ fn steering_scenario(fault: Fault, guarded: bool, seed: u64) -> ScenarioReport {
     if guarded {
         let g = GuardedSteering::new(choose);
         for q in &queries {
-            let expert = env.expert_latency(q).expect("expert plans");
+            let expert = ml4db_obs::with_query(q.fingerprint(), || {
+                env.expert_latency(q).expect("expert plans")
+            });
             expert_total += expert;
             total += g.run_guarded(&env, q);
         }
         tripped = g.breaker().trips() > 0;
     } else {
         for q in &queries {
-            let expert = env.expert_latency(q).expect("expert plans");
-            expert_total += expert;
-            let lat = catch_unwind(AssertUnwindSafe(|| {
-                let hint = choose(&env, q);
-                let plan = env.plan_with_hint(q, hint).expect("hinted plan");
-                env.run(q, &plan)
-            }));
-            match lat {
-                Ok(l) => total += l,
-                Err(_) => {
-                    panicked = true;
-                    total += expert;
+            ml4db_obs::with_query(q.fingerprint(), || {
+                let expert = env.expert_latency(q).expect("expert plans");
+                expert_total += expert;
+                let lat = catch_unwind(AssertUnwindSafe(|| {
+                    let hint = choose(&env, q);
+                    let plan = env.plan_with_hint(q, hint).expect("hinted plan");
+                    env.run(q, &plan)
+                }));
+                match lat {
+                    Ok(l) => total += l,
+                    Err(_) => {
+                        panicked = true;
+                        total += expert;
+                    }
                 }
-            }
+            });
         }
     }
     ScenarioReport {

@@ -67,7 +67,7 @@ impl<L: CardEstimator, C: CardEstimator> GuardedCardEstimator<L, C> {
             learned,
             classical,
             max_ratio,
-            breaker: CircuitBreaker::new(cfg),
+            breaker: CircuitBreaker::named("card_estimator", cfg),
             drift: Mutex::new(drift),
         }
     }
@@ -97,6 +97,14 @@ impl<L: CardEstimator, C: CardEstimator> GuardedCardEstimator<L, C> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .observe(err);
+        ml4db_obs::emit_with(|| ml4db_obs::Event::DriftVerdict {
+            component: self.breaker.name(),
+            fired,
+        });
+        ml4db_obs::counter_add(
+            if fired { "drift.fired" } else { "drift.stable" },
+            1,
+        );
         if fired {
             self.breaker.force_open(TripReason::Drift);
         }

@@ -75,7 +75,7 @@ impl<L: OrderedIndex, C: OrderedIndex> GuardedIndex<L, C> {
             classical,
             warmup_audits,
             audit_every,
-            breaker: CircuitBreaker::new(cfg),
+            breaker: CircuitBreaker::named("learned_index", cfg),
             learned_calls: AtomicU64::new(0),
             audits: AtomicU64::new(0),
             mismatches: AtomicU64::new(0),

@@ -116,7 +116,7 @@ impl<L: SpatialModel> GuardedSpatial<L> {
             min_recall,
             warmup_audits,
             audit_every,
-            breaker: CircuitBreaker::new(cfg),
+            breaker: CircuitBreaker::named("spatial_index", cfg),
             learned_calls: AtomicU64::new(0),
             audits: AtomicU64::new(0),
             mismatches: AtomicU64::new(0),

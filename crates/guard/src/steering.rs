@@ -20,7 +20,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use ml4db_optimizer::harness::EvalReport;
+use ml4db_optimizer::harness::{EvalReport, ReportRow};
 use ml4db_optimizer::Env;
 use ml4db_plan::{HintSet, Query};
 
@@ -59,7 +59,7 @@ impl<P: SteeringPolicy> GuardedSteering<P> {
     /// Fully parameterized constructor.
     pub fn with_config(policy: P, budget_factor: f64, cfg: BreakerConfig) -> Self {
         assert!(budget_factor > 1.0, "budget must exceed the expert's latency");
-        Self { policy, budget_factor, breaker: CircuitBreaker::new(cfg) }
+        Self { policy, budget_factor, breaker: CircuitBreaker::named("steering", cfg) }
     }
 
     /// The breaker, for state inspection and telemetry.
@@ -75,6 +75,10 @@ impl<P: SteeringPolicy> GuardedSteering<P> {
     /// Panics if the expert cannot plan `query` (workload-generator
     /// queries always plan).
     pub fn run_guarded(&self, env: &Env, query: &Query) -> f64 {
+        ml4db_obs::with_query(query.fingerprint(), || self.run_guarded_inner(env, query))
+    }
+
+    fn run_guarded_inner(&self, env: &Env, query: &Query) -> f64 {
         let expert_lat = env.expert_latency(query).expect("expert always plans");
         match self.breaker.begin_call() {
             Decision::UseClassical => expert_lat,
@@ -101,6 +105,10 @@ impl<P: SteeringPolicy> GuardedSteering<P> {
                 match env.run_with_timeout(query, &plan, budget) {
                     Some(lat) => {
                         self.breaker.record_success();
+                        ml4db_obs::emit_with(|| ml4db_obs::Event::ArmLatency {
+                            hint_bits: u32::from(hint.bits()),
+                            latency_us: lat,
+                        });
                         if shadow {
                             // Probe cost on top of the served expert plan.
                             expert_lat + lat
@@ -111,7 +119,12 @@ impl<P: SteeringPolicy> GuardedSteering<P> {
                     None => {
                         self.breaker.record_failure(TripReason::LatencyRegression);
                         // Abort-and-rerun: the budget was burned, then the
-                        // expert plan served.
+                        // expert plan served. The arm is charged its full
+                        // burned budget in the trace.
+                        ml4db_obs::emit_with(|| ml4db_obs::Event::ArmLatency {
+                            hint_bits: u32::from(hint.bits()),
+                            latency_us: budget,
+                        });
                         budget + expert_lat
                     }
                 }
@@ -125,14 +138,17 @@ impl<P: SteeringPolicy> GuardedSteering<P> {
     /// order, and a serial loop makes the report a pure function of the
     /// workload regardless of `ML4DB_THREADS`.
     pub fn evaluate(&self, env: &Env, queries: &[Query]) -> EvalReport {
-        let pairs: Vec<(f64, f64)> = queries
+        let rows: Vec<ReportRow> = queries
             .iter()
             .map(|q| {
-                let expert = env.expert_latency(q).expect("expert always plans");
-                (self.run_guarded(env, q), expert)
+                let lat = self.run_guarded(env, q);
+                let expert = ml4db_obs::with_query(q.fingerprint(), || {
+                    env.expert_latency(q).expect("expert always plans")
+                });
+                ReportRow { query_id: q.fingerprint(), latency_us: lat, expert_us: expert }
             })
             .collect();
-        EvalReport::from_pairs(&pairs)
+        EvalReport::from_rows(rows)
     }
 }
 

@@ -1,0 +1,334 @@
+//! The metrics half of the observability substrate: counters, gauges,
+//! and fixed-bucket histograms in a [`MetricsRegistry`] whose merge is
+//! **associative and commutative**, so per-shard registries accumulated
+//! by `ml4db-par` workers fold into one global registry that cannot
+//! depend on how the work was scheduled.
+//!
+//! # Determinism contract
+//!
+//! Every accumulator here is chosen so that `merge` is exact:
+//!
+//! * counters — `u64` saturating addition (associative, commutative,
+//!   no float rounding);
+//! * gauges — `f64` maximum (associative, commutative; a gauge records
+//!   the highest level observed, not the last);
+//! * histograms — per-bucket `u64` counts plus `f64` min/max. There is
+//!   deliberately **no floating-point sum**: `a + (b + c)` and
+//!   `(a + b) + c` differ in f64, which would make merged output depend
+//!   on shard boundaries.
+//!
+//! Serialization goes through [`MetricsRegistry::to_json`], which emits a
+//! `serde_json::Value` with `BTreeMap`-sorted keys — two registries with
+//! equal contents always render byte-identical JSON.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+/// A fixed-bucket histogram: `bounds` are strictly increasing upper
+/// bounds, with an implicit final bucket for everything above the last
+/// bound. Observations are pure bucket increments — no floating-point
+/// accumulation — so merging histograms is exact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket, strictly increasing.
+    bounds: Vec<f64>,
+    /// Bucket counts; `counts.len() == bounds.len() + 1` (overflow last).
+    counts: Vec<u64>,
+    /// Observations that were NaN (kept out of every bucket).
+    nan_count: u64,
+    /// Smallest non-NaN observation, `+inf` before any.
+    min: f64,
+    /// Largest non-NaN observation, `-inf` before any.
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Self { bounds, counts: vec![0; n], nan_count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Log10-spaced bounds `10^0, 10^1, ..., 10^(decades-1)` — the
+    /// default shape for latency-like quantities in microseconds.
+    pub fn log10(decades: u32) -> Self {
+        Self::new((0..decades).map(|d| 10f64.powi(d as i32)).collect())
+    }
+
+    /// The bucket index `v` falls into: the first bound `>= v`, or the
+    /// overflow bucket. NaN returns `None`.
+    pub fn bucket_for(&self, v: f64) -> Option<usize> {
+        if v.is_nan() {
+            return None;
+        }
+        Some(self.bounds.partition_point(|&b| b < v))
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        match self.bucket_for(v) {
+            Some(b) => {
+                self.counts[b] = self.counts[b].saturating_add(1);
+                self.min = self.min.min(v);
+                self.max = self.max.max(v);
+            }
+            None => self.nan_count = self.nan_count.saturating_add(1),
+        }
+    }
+
+    /// Total non-NaN observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// The bucket counts (overflow bucket last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Folds another histogram into this one. Exact — pure `u64` adds and
+    /// `f64` min/max, all associative and commutative.
+    ///
+    /// # Panics
+    /// Panics if the bucket bounds differ: histograms are only mergeable
+    /// within one metric definition.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+        self.nan_count = self.nan_count.saturating_add(other.nan_count);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Deterministic JSON rendering (sorted keys, exact counts).
+    pub fn to_json(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert("bounds".into(), Value::Array(self.bounds.iter().map(|&b| Value::Number(b)).collect()));
+        o.insert(
+            "counts".into(),
+            Value::Array(self.counts.iter().map(|&c| Value::Number(c as f64)).collect()),
+        );
+        o.insert("total".into(), Value::Number(self.total() as f64));
+        if self.nan_count > 0 {
+            o.insert("nan_count".into(), Value::Number(self.nan_count as f64));
+        }
+        if self.total() > 0 {
+            o.insert("min".into(), Value::Number(self.min));
+            o.insert("max".into(), Value::Number(self.max));
+        }
+        Value::Object(o)
+    }
+}
+
+/// Counters, gauges, and histograms under string names.
+///
+/// One registry per worker shard plus [`MetricsRegistry::merge`] gives
+/// scheduling-independent totals; a single shared registry behind a lock
+/// gives the same totals because every accumulator is commutative.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry, usable in `static` initializers
+    /// (`BTreeMap::new` is const).
+    pub const fn const_new() -> Self {
+        Self { counters: BTreeMap::new(), gauges: BTreeMap::new(), histograms: BTreeMap::new() }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(n),
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a gauge level; the registry keeps the **maximum** observed
+    /// (max is what merges associatively — "last write" cannot).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = g.max(v),
+            None => {
+                self.gauges.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Current gauge level, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records one observation into the histogram `name`, creating it
+    /// with `default_buckets` bounds on first use.
+    pub fn histogram_observe(&mut self, name: &str, v: f64, default_buckets: impl FnOnce() -> Histogram) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = default_buckets();
+                h.observe(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The histogram `name`, if ever observed into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Folds `other` into `self`. Associative and commutative: any
+    /// grouping or ordering of shard merges yields the same registry.
+    ///
+    /// # Panics
+    /// Panics if the same histogram name carries different bucket bounds
+    /// in the two registries (a metric-definition bug, not a data race).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_set(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Deterministic JSON rendering: all three sections with
+    /// `BTreeMap`-sorted keys. Equal registries render byte-identically.
+    pub fn to_json(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert(
+            "counters".to_string(),
+            Value::Object(
+                self.counters.iter().map(|(k, &v)| (k.clone(), Value::Number(v as f64))).collect(),
+            ),
+        );
+        o.insert(
+            "gauges".to_string(),
+            Value::Object(self.gauges.iter().map(|(k, &v)| (k.clone(), Value::Number(v))).collect()),
+        );
+        o.insert(
+            "histograms".to_string(),
+            Value::Object(self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect()),
+        );
+        Value::Object(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 0.5); // max wins
+        r.histogram_observe("h", 7.0, || Histogram::log10(4));
+        r.histogram_observe("h", 70.0, || Histogram::log10(4));
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.gauge("g"), Some(1.5));
+        assert_eq!(r.histogram("h").unwrap().total(), 2);
+        let rendered = r.to_json().to_string();
+        assert!(rendered.contains("\"counters\""), "{rendered}");
+    }
+
+    #[test]
+    fn merge_is_exact_and_symmetric() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        b.counter_add("x", 2);
+        b.counter_add("y", 7);
+        a.gauge_set("g", 3.0);
+        b.gauge_set("g", 9.0);
+        a.histogram_observe("h", 0.5, || Histogram::log10(3));
+        b.histogram_observe("h", 500.0, || Histogram::log10(3));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json().to_string(), ba.to_json().to_string());
+        assert_eq!(ab.counter("x"), 3);
+        assert_eq!(ab.gauge("g"), Some(9.0));
+        assert_eq!(ab.histogram("h").unwrap().total(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_line() {
+        let h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        assert_eq!(h.bucket_for(0.0), Some(0));
+        assert_eq!(h.bucket_for(1.0), Some(0)); // inclusive upper bound
+        assert_eq!(h.bucket_for(1.5), Some(1));
+        assert_eq!(h.bucket_for(100.0), Some(2));
+        assert_eq!(h.bucket_for(1e9), Some(3)); // overflow bucket
+        assert_eq!(h.bucket_for(f64::NAN), None);
+    }
+
+    #[test]
+    fn nan_observations_are_quarantined() {
+        let mut h = Histogram::log10(3);
+        h.observe(f64::NAN);
+        h.observe(5.0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.nan_count, 1);
+        let j = h.to_json().to_string();
+        assert!(j.contains("nan_count"), "{j}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn mismatched_bounds_refuse_to_merge() {
+        let mut a = Histogram::log10(3);
+        let b = Histogram::log10(4);
+        a.merge(&b);
+    }
+}

@@ -103,7 +103,18 @@ impl<'a> Env<'a> {
     /// planned before under the current weights.
     pub fn plan_with_hint(&self, query: &Query, hint: HintSet) -> Option<PlanNode> {
         let key = CacheKey::new(query, hint, self.epoch());
-        self.plan_cache.get_or_insert_with(key, || self.plan_with_hint_uncached(query, hint))
+        let plan =
+            self.plan_cache.get_or_insert_with(key, || self.plan_with_hint_uncached(query, hint));
+        if let Some(p) = &plan {
+            ml4db_obs::emit_with(|| ml4db_obs::Event::PlanChosen {
+                hint_bits: u32::from(hint.bits()),
+                est_cost: p.est_cost,
+                est_rows: p.est_rows,
+                num_joins: p.num_joins() as u32,
+                left_deep: p.is_left_deep(),
+            });
+        }
+        plan
     }
 
     /// The expert plan under a hint set, always planned from scratch —
@@ -144,8 +155,19 @@ impl<'a> Env<'a> {
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
         {
+            ml4db_obs::emit_with(|| ml4db_obs::Event::CacheLookup {
+                cache: "expert_latency",
+                hit: true,
+            });
+            ml4db_obs::counter_add("expert_latency.hit", 1);
+            ml4db_obs::emit_with(|| ml4db_obs::Event::ExpertLatency { latency_us: lat });
             return Some(lat);
         }
+        ml4db_obs::emit_with(|| ml4db_obs::Event::CacheLookup {
+            cache: "expert_latency",
+            hit: false,
+        });
+        ml4db_obs::counter_add("expert_latency.miss", 1);
         // Plan + run outside the lock (both deterministic; a racing
         // thread computes the same value).
         let plan = self.expert_plan(query)?;
@@ -154,6 +176,7 @@ impl<'a> Env<'a> {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, lat);
+        ml4db_obs::emit_with(|| ml4db_obs::Event::ExpertLatency { latency_us: lat });
         Some(lat)
     }
 
@@ -163,7 +186,13 @@ impl<'a> Env<'a> {
     /// Panics if the plan references unknown tables (plans produced through
     /// this environment never do).
     pub fn run(&self, query: &Query, plan: &PlanNode) -> f64 {
-        execute(self.db, query, plan).expect("valid plan").latency_us
+        let r = execute(self.db, query, plan).expect("valid plan");
+        ml4db_obs::emit_with(|| ml4db_obs::Event::Executed {
+            latency_us: r.latency_us,
+            rows: r.rows.len() as u64,
+        });
+        ml4db_obs::histogram_observe("executor.latency_us", r.latency_us);
+        r.latency_us
     }
 
     /// Executes a batch of (query, plan) pairs over the `ml4db_par`
@@ -179,7 +208,14 @@ impl<'a> Env<'a> {
     /// Executes with a latency budget; `None` means timed out.
     pub fn run_with_timeout(&self, query: &Query, plan: &PlanNode, budget_us: f64) -> Option<f64> {
         match execute_with_timeout(self.db, query, plan, budget_us).expect("valid plan") {
-            ExecOutcome::Done(r) => Some(r.latency_us),
+            ExecOutcome::Done(r) => {
+                ml4db_obs::emit_with(|| ml4db_obs::Event::Executed {
+                    latency_us: r.latency_us,
+                    rows: r.rows.len() as u64,
+                });
+                ml4db_obs::histogram_observe("executor.latency_us", r.latency_us);
+                Some(r.latency_us)
+            }
             ExecOutcome::TimedOut { .. } => None,
         }
     }

@@ -10,10 +10,35 @@ use ml4db_plan::Query;
 
 use crate::env::Env;
 
+/// One evaluated query's line in an [`EvalReport`], carrying the stable
+/// identity ([`Query::fingerprint`]) that lets report lines join against
+/// per-query trace events in an `ml4db_obs` trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReportRow {
+    /// `Query::fingerprint` of the evaluated query.
+    pub query_id: u64,
+    /// Latency charged to the optimizer under evaluation (µs).
+    pub latency_us: f64,
+    /// The expert baseline latency (µs).
+    pub expert_us: f64,
+}
+
+impl ReportRow {
+    /// Whether this row counts as a regression (≥ 2× the expert, the Bao
+    /// criterion) — the same predicate [`EvalReport`] aggregates.
+    pub fn regressed(&self) -> bool {
+        self.latency_us > self.expert_us * 2.0
+    }
+}
+
 /// One optimizer's evaluation on a workload.
 #[derive(Clone, Debug)]
 pub struct EvalReport {
-    /// Per-query latencies (µs).
+    /// Per-query rows in workload order, with stable query ids.
+    pub rows: Vec<ReportRow>,
+    /// Per-query latencies (µs), in workload order (same order as
+    /// [`EvalReport::rows`]; kept as a field for the common
+    /// distribution-level consumers).
     pub latencies: Vec<f64>,
     /// Tail summary of the latencies.
     pub tail: TailSummary,
@@ -25,21 +50,58 @@ pub struct EvalReport {
 }
 
 impl EvalReport {
-    /// Builds a report from `(latency, expert_latency)` pairs — the shared
+    /// Builds a report from per-query [`ReportRow`]s — the shared
     /// accounting used by [`evaluate`], the timeout-fallback variant, and
     /// external guarded harnesses.
+    ///
+    /// Emits one `ml4db_obs` `QueryReport` event per row, attributed to
+    /// the row's query id, so every report line is joinable against the
+    /// trace it came from.
+    ///
+    /// # Panics
+    /// Panics on an empty workload.
+    pub fn from_rows(rows: Vec<ReportRow>) -> Self {
+        for r in &rows {
+            ml4db_obs::with_query(r.query_id, || {
+                ml4db_obs::emit_with(|| ml4db_obs::Event::QueryReport {
+                    latency_us: r.latency_us,
+                    expert_us: r.expert_us,
+                    regressed: r.regressed(),
+                });
+            });
+        }
+        let latencies: Vec<f64> = rows.iter().map(|r| r.latency_us).collect();
+        let regressions = rows.iter().filter(|r| r.regressed()).count();
+        let tail = tail_summary(&latencies).expect("non-empty workload");
+        let total: f64 = latencies.iter().sum();
+        let expert_total: f64 =
+            rows.iter().map(|r| r.expert_us).sum::<f64>().max(1e-9);
+        EvalReport { rows, latencies, tail, regressions, relative_total: total / expert_total }
+    }
+
+    /// Builds a report from `(latency, expert_latency)` pairs without
+    /// query identity; rows get positional ids (0, 1, 2, ...). Prefer
+    /// [`EvalReport::from_rows`] wherever the queries are in hand.
     ///
     /// # Panics
     /// Panics on an empty workload.
     pub fn from_pairs(per_query: &[(f64, f64)]) -> Self {
-        let latencies: Vec<f64> = per_query.iter().map(|&(lat, _)| lat).collect();
-        let regressions =
-            per_query.iter().filter(|&&(lat, expert)| lat > expert * 2.0).count();
-        let tail = tail_summary(&latencies).expect("non-empty workload");
-        let total: f64 = latencies.iter().sum();
-        let expert_total: f64 =
-            per_query.iter().map(|&(_, expert)| expert).sum::<f64>().max(1e-9);
-        EvalReport { latencies, tail, regressions, relative_total: total / expert_total }
+        Self::from_rows(
+            per_query
+                .iter()
+                .enumerate()
+                .map(|(i, &(lat, expert))| ReportRow {
+                    query_id: i as u64,
+                    latency_us: lat,
+                    expert_us: expert,
+                })
+                .collect(),
+        )
+    }
+
+    /// The row for `query_id`, if that query was evaluated.
+    pub fn row_for(&self, query_id: u64) -> Option<&ReportRow> {
+        self.rows.iter().find(|r| r.query_id == query_id)
     }
 }
 
@@ -61,15 +123,18 @@ pub fn evaluate(
     queries: &[Query],
     planner: impl Fn(&Env, &Query) -> Option<ml4db_plan::PlanNode> + Sync,
 ) -> EvalReport {
-    let per_query: Vec<(f64, f64)> = ml4db_par::par_map(queries, |q| {
-        let expert_lat = env.expert_latency(q).expect("expert always plans");
-        let lat = match planner(env, q) {
-            Some(p) => env.run(q, &p),
-            None => expert_lat, // a planner that abstains falls back
-        };
-        (lat, expert_lat)
+    let _span = ml4db_obs::span("evaluate");
+    let rows: Vec<ReportRow> = ml4db_par::par_map(queries, |q| {
+        ml4db_obs::with_query(q.fingerprint(), || {
+            let expert_lat = env.expert_latency(q).expect("expert always plans");
+            let lat = match planner(env, q) {
+                Some(p) => env.run(q, &p),
+                None => expert_lat, // a planner that abstains falls back
+            };
+            ReportRow { query_id: q.fingerprint(), latency_us: lat, expert_us: expert_lat }
+        })
     });
-    EvalReport::from_pairs(&per_query)
+    EvalReport::from_rows(rows)
 }
 
 /// Like [`evaluate`], but every learned plan runs under a latency budget
@@ -85,16 +150,19 @@ pub fn evaluate_with_timeout_fallback(
     planner: impl Fn(&Env, &Query) -> Option<ml4db_plan::PlanNode> + Sync,
 ) -> EvalReport {
     assert!(budget_factor > 0.0);
-    let per_query: Vec<(f64, f64)> = ml4db_par::par_map(queries, |q| {
-        let expert_lat = env.expert_latency(q).expect("expert always plans");
-        let budget = budget_factor * expert_lat;
-        let lat = match planner(env, q) {
-            Some(p) => env.run_with_timeout(q, &p, budget).unwrap_or(budget + expert_lat),
-            None => expert_lat,
-        };
-        (lat, expert_lat)
+    let _span = ml4db_obs::span("evaluate_with_timeout_fallback");
+    let rows: Vec<ReportRow> = ml4db_par::par_map(queries, |q| {
+        ml4db_obs::with_query(q.fingerprint(), || {
+            let expert_lat = env.expert_latency(q).expect("expert always plans");
+            let budget = budget_factor * expert_lat;
+            let lat = match planner(env, q) {
+                Some(p) => env.run_with_timeout(q, &p, budget).unwrap_or(budget + expert_lat),
+                None => expert_lat,
+            };
+            ReportRow { query_id: q.fingerprint(), latency_us: lat, expert_us: expert_lat }
+        })
     });
-    EvalReport::from_pairs(&per_query)
+    EvalReport::from_rows(rows)
 }
 
 /// Splits a workload into (seen, unseen) by template signature: templates

@@ -41,7 +41,9 @@ pub use balsa::Balsa;
 pub use bao::Bao;
 pub use dq::Dq;
 pub use env::{plan_features, Env, PLAN_FEATURE_DIM};
-pub use harness::{evaluate, evaluate_with_timeout_fallback, split_seen_unseen, EvalReport};
+pub use harness::{
+    evaluate, evaluate_with_timeout_fallback, split_seen_unseen, EvalReport, ReportRow,
+};
 pub use leon::Leon;
 pub use neo::Neo;
 pub use paramtree::{

@@ -156,12 +156,21 @@ impl PlanCache {
     ) -> Option<PlanNode> {
         if let Some(cached) = Self::lock_shard(self.shard(&key)).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            Self::observe_lookup(true);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::observe_lookup(false);
         let value = plan_fn();
         Self::lock_shard(self.shard(&key)).insert(key, value.clone());
         value
+    }
+
+    /// Reports one lookup to the observability sink: a per-query
+    /// [`ml4db_obs::Event::CacheLookup`] plus hit/miss counters.
+    fn observe_lookup(hit: bool) {
+        ml4db_obs::emit_with(|| ml4db_obs::Event::CacheLookup { cache: "plan_cache", hit });
+        ml4db_obs::counter_add(if hit { "plan_cache.hit" } else { "plan_cache.miss" }, 1);
     }
 
     /// Probes without computing on miss.
@@ -171,6 +180,7 @@ impl PlanCache {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
+        Self::observe_lookup(found.is_some());
         found
     }
 

@@ -104,8 +104,27 @@ fn execute_inner(
             let latency_us = total.latency_us(&TRUE_WEIGHTS);
             Ok(ExecOutcome::Done(ExecResult { rows, stats: total, latency_us, layout }))
         }
-        None => Ok(ExecOutcome::TimedOut { budget_us }),
+        None => {
+            ml4db_obs::emit_with(|| ml4db_obs::Event::ExecTimeout { budget_us });
+            ml4db_obs::counter_add("executor.timeout", 1);
+            Ok(ExecOutcome::TimedOut { budget_us })
+        }
     }
+}
+
+/// Reports one completed operator to the observability sink: estimated
+/// vs actual cardinality and this node's own latency contribution
+/// (children excluded) — the per-operator line of the EXPLAIN-ANALYZE
+/// trace.
+fn observe_operator(op: &'static str, node: &PlanNode, own: &ExecStats) {
+    ml4db_obs::emit_with(|| ml4db_obs::Event::Operator {
+        op,
+        est_rows: node.est_rows,
+        est_cost: node.est_cost,
+        actual_rows: own.rows_out,
+        actual_us: own.latency_us(&TRUE_WEIGHTS),
+    });
+    ml4db_obs::counter_add("executor.operators", 1);
 }
 
 /// Returns `None` on timeout.
@@ -131,11 +150,12 @@ fn run_node(
                     .ok_or(format!("unknown column {}.{}", tref.table, p.column))?;
                 Ok(Predicate { column: col, op: p.op, value: p.value })
             };
-            let (rows, stats) = match algo {
+            let (rows, stats, op_name) = match algo {
                 ScanAlgo::Seq => {
                     let preds: Vec<Predicate> =
                         predicates.iter().map(to_local).collect::<Result<_, _>>()?;
-                    exec::seq_scan(t, &preds)
+                    let (rows, stats) = exec::seq_scan(t, &preds);
+                    (rows, stats, "seq_scan")
                 }
                 ScanAlgo::Index => {
                     let icol_name = index_column
@@ -165,9 +185,11 @@ fn run_node(
                             residual.push(to_local(p)?);
                         }
                     }
-                    exec::index_scan(t, icol, lo, hi, &residual)
+                    let (rows, stats) = exec::index_scan(t, icol, lo, hi, &residual);
+                    (rows, stats, "index_scan")
                 }
             };
+            observe_operator(op_name, node, &stats);
             total.merge(&stats);
             if total.latency_us(&TRUE_WEIGHTS) > budget_us {
                 return Ok(None);
@@ -211,7 +233,11 @@ fn run_node(
                 JoinAlgo::Hash => exec::hash_join(&left_rows, &right_rows, lcol, rcol),
                 JoinAlgo::SortMerge => exec::sort_merge_join(&left_rows, &right_rows, lcol, rcol),
             };
-            total.merge(&stats);
+            // This node's own work: the join itself plus any residual
+            // post-filters below — accumulated separately from `total`
+            // (which already holds the children) so the per-operator
+            // trace line can attribute latency to just this operator.
+            let mut own = stats;
             // Residual join conditions apply as post-filters over the
             // combined layout.
             let mut layout = left_layout;
@@ -226,8 +252,15 @@ fn run_node(
                     rows_out: rows.len() as u64,
                     ..Default::default()
                 };
-                total.merge(&post);
+                own.merge(&post);
             }
+            let op_name = match algo {
+                JoinAlgo::NestedLoop => "nested_loop_join",
+                JoinAlgo::Hash => "hash_join",
+                JoinAlgo::SortMerge => "sort_merge_join",
+            };
+            observe_operator(op_name, node, &own);
+            total.merge(&own);
             if total.latency_us(&TRUE_WEIGHTS) > budget_us {
                 return Ok(None);
             }

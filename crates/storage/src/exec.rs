@@ -170,6 +170,14 @@ impl Predicate {
     }
 }
 
+/// Reports one physical-operator invocation to the observability sink:
+/// coarse call/row counters per operator, merged associatively across
+/// worker shards.
+fn observe_op(op: &'static str, rows_out: u64) {
+    ml4db_obs::counter_add(op, 1);
+    ml4db_obs::histogram_observe("exec.rows_out", rows_out as f64);
+}
+
 /// Sequential scan with pushed-down predicates.
 pub fn seq_scan(table: &Table, predicates: &[Predicate]) -> (Vec<Row>, ExecStats) {
     let n = table.num_rows();
@@ -195,6 +203,7 @@ pub fn seq_scan(table: &Table, predicates: &[Predicate]) -> (Vec<Row>, ExecStats
         }
     }
     stats.rows_out = out.len() as u64;
+    observe_op("exec.seq_scan.calls", stats.rows_out);
     (out, stats)
 }
 
@@ -237,6 +246,7 @@ pub fn index_scan(
     }
     stats.random_pages += (stats.tuples).div_ceil(ROWS_PER_PAGE);
     stats.rows_out = out.len() as u64;
+    observe_op("exec.index_scan.calls", stats.rows_out);
     (out, stats)
 }
 
@@ -265,6 +275,7 @@ pub fn nested_loop_join(
     }
     stats.rows_out = out.len() as u64;
     stats.tuples += out.len() as u64;
+    observe_op("exec.nested_loop_join.calls", stats.rows_out);
     (out, stats)
 }
 
@@ -296,6 +307,7 @@ pub fn hash_join(
         rows_out: out.len() as u64,
         ..Default::default()
     };
+    observe_op("exec.hash_join.calls", stats.rows_out);
     (out, stats)
 }
 
@@ -364,6 +376,7 @@ pub fn sort_merge_join(
         rows_out: out.len() as u64,
         ..Default::default()
     };
+    observe_op("exec.sort_merge_join.calls", stats.rows_out);
     (out, stats)
 }
 

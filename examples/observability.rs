@@ -1,0 +1,65 @@
+//! Renders an EXPLAIN-ANALYZE-style trace of one evaluation pass and one
+//! guarded chaos scenario, and writes the full JSON trace (canonical
+//! channel plus the wall-clock side channel) to `target/trace.json` —
+//! the artifact the CI `obs` job uploads.
+//!
+//! ```bash
+//! cargo run --release --example observability
+//! ```
+
+use std::collections::BTreeSet;
+
+use ml4db_core::guard::{run_scenario, Fault};
+use ml4db_core::obs;
+use ml4db_core::optimizer::{evaluate, Env};
+use ml4db_core::prelude::*;
+
+fn main() {
+    let _g = obs::ModeGuard::collect();
+
+    // 1. A clean evaluation pass with the expert planner over
+    //    fingerprint-distinct queries.
+    let db = demo_database(100, 41);
+    let mut seen = BTreeSet::new();
+    let queries: Vec<Query> = demo_workload(&db, 10, 42)
+        .into_iter()
+        .filter(|q| seen.insert(q.fingerprint()))
+        .collect();
+    let env = Env::new(&db);
+    let report = evaluate(&env, &queries, |env, q| env.expert_plan(q));
+    println!(
+        "evaluated {} queries: relative_total={:.3} regressions={}",
+        queries.len(),
+        report.relative_total,
+        report.regressions
+    );
+
+    // 2. A guarded chaos scenario: NaN estimates trip the breaker.
+    let scenario = run_scenario(Fault::NanEstimates, true, 7);
+    println!(
+        "chaos {}: tripped={} passes={}\n",
+        scenario.fault, scenario.tripped, scenario.passes()
+    );
+
+    let trace = obs::take_trace();
+
+    // The per-query EXPLAIN-ANALYZE rendering — print the first two
+    // queries in full rather than all of them.
+    let mut shown = 0;
+    for line in trace.render().lines() {
+        if line.starts_with("query ") {
+            shown += 1;
+            if shown > 2 {
+                break;
+            }
+        }
+        println!("{line}");
+    }
+    println!("... ({} queries total)\n", trace.query_ids().len());
+    println!("metrics: {}", trace.metrics.to_json());
+
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/trace.json", trace.to_json().to_string())
+        .expect("write target/trace.json");
+    println!("\nfull trace written to target/trace.json");
+}

@@ -1,0 +1,67 @@
+//! Bench smoke test for the instrumentation overhead budget: with a
+//! no-op sink the fully-instrumented `evaluate` path must stay within
+//! 5% of the disabled-sink baseline.
+//!
+//! `Mode::Noop` is the honest measurement mode — every emit site
+//! constructs its event (full hot-path cost) and then drops it, and the
+//! `noop_events` counter proves the sites actually fired, so the
+//! comparison cannot be gamed by skipping construction.
+//!
+//! Methodology: warm both paths, then interleave disabled/noop rounds and
+//! compare the *minimum* latency of each (minimum is robust to scheduler
+//! noise; means are not). A small absolute slack absorbs timer
+//! granularity on runs that finish in a few milliseconds.
+
+use std::time::{Duration, Instant};
+
+use ml4db_core::obs;
+use ml4db_core::optimizer::{evaluate, Env};
+use ml4db_core::prelude::*;
+
+#[test]
+fn noop_sink_overhead_on_evaluate_is_within_five_percent() {
+    let db = demo_database(140, 81);
+    let queries = demo_workload(&db, 50, 82);
+
+    // One measured evaluation pass: a fresh Env each time so both modes
+    // pay identical (cold-cache) work.
+    let run_once = |mode: obs::Mode| -> Duration {
+        let _g = obs::ModeGuard::new(mode);
+        let env = Env::new(&db);
+        let start = Instant::now();
+        let report = evaluate(&env, &queries, |env, q| env.expert_plan(q));
+        let elapsed = start.elapsed();
+        assert!(report.relative_total.is_finite());
+        elapsed
+    };
+
+    // Warm-up: fault in code paths and let the pool spin up.
+    run_once(obs::Mode::Disabled);
+    run_once(obs::Mode::Noop);
+
+    // Prove the instrumented sites fire under the no-op sink before
+    // timing anything — an un-instrumented hot path would trivially
+    // "pass" the overhead budget.
+    obs::reset();
+    run_once(obs::Mode::Noop);
+    let fired = obs::noop_events();
+    assert!(
+        fired as usize >= queries.len() * 4,
+        "expected at least a few events per query, saw {fired}"
+    );
+
+    let rounds = 7;
+    let mut disabled_min = Duration::MAX;
+    let mut noop_min = Duration::MAX;
+    for _ in 0..rounds {
+        disabled_min = disabled_min.min(run_once(obs::Mode::Disabled));
+        noop_min = noop_min.min(run_once(obs::Mode::Noop));
+    }
+
+    let budget = disabled_min.mul_f64(1.05) + Duration::from_micros(500);
+    assert!(
+        noop_min <= budget,
+        "instrumentation overhead over budget: disabled={disabled_min:?} \
+         noop={noop_min:?} budget={budget:?}"
+    );
+}
