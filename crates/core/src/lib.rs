@@ -12,7 +12,9 @@
 //! * **Open problems** — model efficiency and drift ([`ml4db_card`]),
 //!   training-data generation ([`ml4db_datagen`]), and deployment
 //!   robustness ([`ml4db_guard`]: circuit-breaker fallbacks for every
-//!   learned component, proven by deterministic fault injection).
+//!   learned component, proven by deterministic fault injection;
+//!   [`ml4db_lifecycle`]: versioned model registry with validation-gated
+//!   promotion and auto-rollback under workload shift).
 //!
 //! [`pipeline`] has one-call end-to-end flows; [`prelude`] re-exports the
 //! common surface. The survey artifacts (Figure 1, Table 1) live in
@@ -27,6 +29,7 @@ pub use ml4db_card as card;
 pub use ml4db_datagen as datagen;
 pub use ml4db_guard as guard;
 pub use ml4db_index as index;
+pub use ml4db_lifecycle as lifecycle;
 pub use ml4db_nn as nn;
 pub use ml4db_obs as obs;
 pub use ml4db_optimizer as optimizer;
@@ -46,8 +49,9 @@ pub mod prelude {
     pub use ml4db_datagen::{SchemaGraph, WorkloadConfig, WorkloadGenerator};
     pub use ml4db_guard::{
         BreakerState, CircuitBreaker, GuardedCardEstimator, GuardedIndex, GuardedSpatial,
-        GuardedSteering,
+        GuardedSteering, LifecycleLink,
     };
+    pub use ml4db_lifecycle::{GateConfig, LifecycleState, ModelRegistry};
     pub use ml4db_index::{AlexIndex, BPlusTree, DynamicPgm, MutableIndex, OrderedIndex, PgmIndex, RadixSpline, Rmi};
     pub use ml4db_optimizer::{AutoSteer, Balsa, Bao, Env, Leon, Neo, ParamTree, Rtos};
     pub use ml4db_par::{par_map, par_map_indexed, set_threads};

@@ -9,12 +9,18 @@
 //! * [`sam`] — SAM-style database generation from query feedback \[49\]:
 //!   fit a joint distribution to observed (range, cardinality) constraints
 //!   via iterative proportional fitting and sample a synthetic,
-//!   cardinality-faithful table, optionally from Laplace-privatized counts.
+//!   cardinality-faithful table, optionally from Laplace-privatized counts, and
+//! * [`shift`] — seeded workload-shift injection scenarios (bulk
+//!   insert/delete, correlation flips, template drift, selectivity
+//!   rotation) that the model-lifecycle harness replays to prove learned
+//!   components degrade, retrain, and recover.
 
 #![warn(missing_docs)]
 
 pub mod sam;
+pub mod shift;
 pub mod workload;
 
 pub use sam::{observe_constraints, privatize_constraints, RangeConstraint, SamGenerator};
+pub use shift::{key_stream, ShiftKind, ShiftScenario};
 pub use workload::{DriftSchedule, SchemaGraph, WorkloadConfig, WorkloadGenerator};

@@ -110,6 +110,15 @@ impl<L: CardEstimator, C: CardEstimator> GuardedCardEstimator<L, C> {
         }
     }
 
+    /// Installs a new learned model (a freshly promoted lifecycle
+    /// version) and re-admits it: the drift baseline is cleared and the
+    /// breaker goes on probation, exactly as [`Self::rebaseline`] — the
+    /// old model's error history must not be charged to its successor.
+    pub fn install(&mut self, model: L) {
+        self.learned = model;
+        self.rebaseline();
+    }
+
     /// Re-admission hook after the learned model retrains or adapts:
     /// clears the drift baseline (the new model's errors define the fresh
     /// reference) and puts the breaker on probation.

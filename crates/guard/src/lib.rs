@@ -33,12 +33,14 @@ pub mod breaker;
 pub mod chaos;
 pub mod estimator;
 pub mod index_guard;
+pub mod lifecycle;
 pub mod spatial_guard;
 pub mod steering;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Decision, TripReason};
 pub use chaos::{run_all, run_scenario, Fault, ScenarioReport};
 pub use estimator::GuardedCardEstimator;
+pub use lifecycle::LifecycleLink;
 pub use index_guard::GuardedIndex;
 pub use spatial_guard::{GuardedSpatial, SpatialModel};
 pub use steering::{GuardedSteering, SteeringPolicy};

@@ -1,0 +1,112 @@
+//! The validation gate: the scored decision in front of every promotion.
+//!
+//! Scores are **lower-is-better** (total holdout latency, mean q-error,
+//! 1 − recall, ...). The gate is deliberately dumb about *what* is
+//! scored: the caller replays whatever holdout workload makes sense for
+//! the component and hands the three numbers over. That keeps the gate
+//! reusable across cardinality estimators, learned indexes, and steering
+//! policies, and keeps every decision a pure function of its inputs.
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Relative slack: a candidate passes if its score is at most
+    /// `(1 + tolerance) ×` both the incumbent's and the baseline's.
+    pub tolerance: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { tolerance: 0.15 }
+    }
+}
+
+impl GateConfig {
+    /// Applies the gate to the three holdout scores.
+    pub fn judge(
+        &self,
+        candidate: f64,
+        incumbent: f64,
+        baseline: f64,
+    ) -> GateVerdict {
+        let slack = 1.0 + self.tolerance;
+        // NaN/∞ candidate scores must never pass: compare with explicit
+        // `<=` so a NaN on the left falls to `false`.
+        let sound = candidate.is_finite() && candidate >= 0.0;
+        let promoted =
+            sound && candidate <= incumbent * slack && candidate <= baseline * slack;
+        GateVerdict {
+            candidate,
+            incumbent,
+            baseline,
+            tolerance: self.tolerance,
+            promoted,
+        }
+    }
+}
+
+/// The gate's decision together with the margins behind it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateVerdict {
+    /// Candidate holdout score (lower is better).
+    pub candidate: f64,
+    /// Incumbent holdout score.
+    pub incumbent: f64,
+    /// Classical-baseline holdout score.
+    pub baseline: f64,
+    /// Tolerance that was in force.
+    pub tolerance: f64,
+    /// Whether the candidate cleared the gate.
+    pub promoted: bool,
+}
+
+impl GateVerdict {
+    /// Candidate score relative to the incumbent (1.0 = parity, < 1
+    /// means the candidate is better).
+    pub fn margin_vs_incumbent(&self) -> f64 {
+        self.candidate / self.incumbent.max(1e-12)
+    }
+
+    /// Candidate score relative to the classical baseline.
+    pub fn margin_vs_baseline(&self) -> f64 {
+        self.candidate / self.baseline.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictly_better_candidate_passes() {
+        let v = GateConfig::default().judge(80.0, 100.0, 90.0);
+        assert!(v.promoted);
+        assert!(v.margin_vs_incumbent() < 1.0);
+        assert!(v.margin_vs_baseline() < 1.0);
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let g = GateConfig { tolerance: 0.10 };
+        assert!(g.judge(109.0, 100.0, 100.0).promoted);
+        assert!(!g.judge(111.0, 100.0, 100.0).promoted);
+    }
+
+    #[test]
+    fn must_clear_both_references() {
+        let g = GateConfig { tolerance: 0.0 };
+        // Beats incumbent but not baseline.
+        assert!(!g.judge(95.0, 100.0, 90.0).promoted);
+        // Beats baseline but not incumbent.
+        assert!(!g.judge(95.0, 90.0, 100.0).promoted);
+        assert!(g.judge(89.0, 90.0, 100.0).promoted);
+    }
+
+    #[test]
+    fn unsound_scores_never_pass() {
+        let g = GateConfig { tolerance: 10.0 };
+        assert!(!g.judge(f64::NAN, 100.0, 100.0).promoted);
+        assert!(!g.judge(f64::INFINITY, 100.0, 100.0).promoted);
+        assert!(!g.judge(-1.0, 100.0, 100.0).promoted);
+    }
+}

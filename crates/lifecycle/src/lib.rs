@@ -1,0 +1,55 @@
+//! # ml4db-lifecycle — model lifecycle under data & workload shift
+//!
+//! The tutorial's open-problem list names **data and workload shift** as
+//! the key obstacle to deploying learned database components, and the
+//! guard layer (`ml4db-guard`) only solves half of it: a drifted model
+//! trips its breaker and the classical fallback serves — permanently.
+//! Nothing retrains, re-validates, or restores the learned component.
+//! This crate closes that loop with first-class model management in the
+//! Baihe mold: every learned component gets a **versioned registry** of
+//! model snapshots and a **validation gate** in front of promotion.
+//!
+//! The lifecycle state machine (one per registered version):
+//!
+//! ```text
+//!             register_candidate            begin_shadow
+//!   (trained) ------------------> Candidate ------------> Shadow
+//!                                                           |
+//!                              try_promote: gate pass       | gate fail
+//!                                  v                        v
+//!        serving <--- Promoted  (bumps generation)      RolledBack
+//!           |
+//!           | guard trip / drift verdict  -> rollback()
+//!           v
+//!        RolledBack   (last-good version serves again; generation bumps)
+//! ```
+//!
+//! * A **candidate** is a freshly retrained model. It never serves
+//!   directly: it first replays a holdout workload in **shadow** mode,
+//!   where it is scored but the incumbent keeps serving.
+//! * The **gate** promotes the candidate only if its holdout score beats
+//!   — or matches within a configured tolerance — *both* the incumbent
+//!   and the classical baseline ([`GateConfig`]). Lehmann et al. (2023)
+//!   show learned optimizers silently regress without exactly this kind
+//!   of systematic pre-promotion check.
+//! * Every promotion and rollback bumps the registry **generation**,
+//!   which callers fold into the plan-cache epoch so stale cached plans
+//!   are never served across a model change.
+//! * A post-promotion guard trip or drift verdict triggers
+//!   [`ModelRegistry::rollback`] to the last-good version — the
+//!   auto-rollback half of the loop (`ml4db-guard`'s `LifecycleLink`
+//!   wires the breaker to it).
+//!
+//! Everything is count-driven and allocation-light: a registry run is a
+//! pure function of the scores fed to it, so lifecycle decisions are
+//! byte-identical across `ML4DB_THREADS` settings. Each transition is
+//! reported through `ml4db-obs` tracing (candidate trained, validation
+//! verdict with margins, promotion, rollback with reason).
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod registry;
+
+pub use gate::{GateConfig, GateVerdict};
+pub use registry::{LifecycleState, ModelRegistry, ModelVersion};

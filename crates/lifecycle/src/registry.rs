@@ -1,0 +1,335 @@
+//! The versioned model registry and its lifecycle state machine.
+
+use crate::gate::{GateConfig, GateVerdict};
+
+/// Where a model version is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// A former (or initial) serving model — the rollback target.
+    Incumbent,
+    /// Freshly registered after (re)training; not yet scored.
+    Candidate,
+    /// Replaying the holdout workload in shadow: scored, never serving.
+    Shadow,
+    /// Cleared the validation gate; currently (or previously) serving.
+    Promoted,
+    /// Rejected by the gate, or rolled back after a guard trip.
+    RolledBack,
+}
+
+impl LifecycleState {
+    /// Stable snake_case label used in trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LifecycleState::Incumbent => "incumbent",
+            LifecycleState::Candidate => "candidate",
+            LifecycleState::Shadow => "shadow",
+            LifecycleState::Promoted => "promoted",
+            LifecycleState::RolledBack => "rolled_back",
+        }
+    }
+}
+
+/// One versioned snapshot of a learned component.
+#[derive(Clone, Debug)]
+pub struct ModelVersion<M> {
+    /// Registry-assigned id, dense from 0.
+    pub id: u32,
+    /// The model snapshot itself.
+    pub model: M,
+    /// Current lifecycle state.
+    pub state: LifecycleState,
+    /// Provenance label ("seed", "retrain", "sabotage", ...).
+    pub origin: &'static str,
+}
+
+/// A versioned registry of model snapshots for one learned component,
+/// with validation-gated promotion and last-good rollback.
+///
+/// The registry never discards a version: rollback is a pointer move,
+/// and every decision (who serves, who is last-good, the generation
+/// counter) is a pure function of the call sequence — no clocks, no
+/// ambient randomness.
+#[derive(Debug)]
+pub struct ModelRegistry<M> {
+    component: &'static str,
+    gate: GateConfig,
+    versions: Vec<ModelVersion<M>>,
+    /// Index (not id) of the serving version.
+    active: usize,
+    /// Index of the rollback target: the last version that served and
+    /// passed validation (or the seed incumbent).
+    last_good: usize,
+    generation: u64,
+}
+
+impl<M> ModelRegistry<M> {
+    /// Creates a registry serving `incumbent` as version 0.
+    pub fn new(component: &'static str, gate: GateConfig, incumbent: M) -> Self {
+        Self {
+            component,
+            gate,
+            versions: vec![ModelVersion {
+                id: 0,
+                model: incumbent,
+                state: LifecycleState::Incumbent,
+                origin: "seed",
+            }],
+            active: 0,
+            last_good: 0,
+            generation: 0,
+        }
+    }
+
+    /// The component label carried on every trace event.
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+
+    /// The gate configuration in force.
+    pub fn gate(&self) -> GateConfig {
+        self.gate
+    }
+
+    /// The serving model.
+    pub fn active(&self) -> &M {
+        &self.versions[self.active].model
+    }
+
+    /// The serving version's id.
+    pub fn active_id(&self) -> u32 {
+        self.versions[self.active].id
+    }
+
+    /// The serving version record.
+    pub fn active_version(&self) -> &ModelVersion<M> {
+        &self.versions[self.active]
+    }
+
+    /// Monotone counter bumped on every promotion and rollback — fold
+    /// this into the plan-cache epoch so cached plans die with the model
+    /// that produced them.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of versions ever registered.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when the registry holds no versions (never: construction
+    /// installs the seed incumbent).
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// The version record for `id`, if registered.
+    pub fn version(&self, id: u32) -> Option<&ModelVersion<M>> {
+        self.versions.get(id as usize)
+    }
+
+    /// Every version ever registered, in registration order.
+    pub fn history(&self) -> &[ModelVersion<M>] {
+        &self.versions
+    }
+
+    /// Registers a retrained model as a candidate; it does not serve
+    /// until it passes the gate.
+    pub fn register_candidate(&mut self, model: M, origin: &'static str) -> u32 {
+        let id = self.versions.len() as u32;
+        self.versions.push(ModelVersion {
+            id,
+            model,
+            state: LifecycleState::Candidate,
+            origin,
+        });
+        let component = self.component;
+        ml4db_obs::emit_with(|| ml4db_obs::Event::CandidateTrained {
+            component,
+            version: id,
+            origin,
+        });
+        ml4db_obs::counter_add("lifecycle.candidates", 1);
+        id
+    }
+
+    /// Moves a candidate into shadow: the holdout replay happens while
+    /// the version is in this state (scored, never serving).
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or not a candidate.
+    pub fn begin_shadow(&mut self, id: u32) {
+        let v = &mut self.versions[id as usize];
+        assert_eq!(
+            v.state,
+            LifecycleState::Candidate,
+            "only candidates enter shadow (v{id} is {:?})",
+            v.state
+        );
+        v.state = LifecycleState::Shadow;
+    }
+
+    /// Applies the validation gate to a shadow candidate's holdout
+    /// scores (lower is better) and promotes it on a pass; on a fail the
+    /// candidate is marked [`LifecycleState::RolledBack`] and the
+    /// incumbent keeps serving. Promotion bumps the generation.
+    ///
+    /// # Panics
+    /// Panics if `id` is unknown or not in shadow.
+    pub fn try_promote(
+        &mut self,
+        id: u32,
+        candidate_score: f64,
+        incumbent_score: f64,
+        baseline_score: f64,
+    ) -> GateVerdict {
+        assert_eq!(
+            self.versions[id as usize].state,
+            LifecycleState::Shadow,
+            "candidates are gated from shadow"
+        );
+        let verdict = self.gate.judge(candidate_score, incumbent_score, baseline_score);
+        let component = self.component;
+        ml4db_obs::emit_with(|| ml4db_obs::Event::ValidationVerdict {
+            component,
+            version: id,
+            promoted: verdict.promoted,
+            candidate_score: verdict.candidate,
+            incumbent_score: verdict.incumbent,
+            baseline_score: verdict.baseline,
+            tolerance: verdict.tolerance,
+        });
+        if verdict.promoted {
+            // The outgoing model becomes the rollback target.
+            self.versions[self.active].state = LifecycleState::Incumbent;
+            self.last_good = self.active;
+            self.active = id as usize;
+            self.versions[self.active].state = LifecycleState::Promoted;
+            self.generation += 1;
+            let generation = self.generation;
+            ml4db_obs::emit_with(|| ml4db_obs::Event::Promotion {
+                component,
+                version: id,
+                generation,
+            });
+            ml4db_obs::counter_add("lifecycle.promotions", 1);
+        } else {
+            self.versions[id as usize].state = LifecycleState::RolledBack;
+            let to_version = self.active_id();
+            ml4db_obs::emit_with(|| ml4db_obs::Event::Rollback {
+                component,
+                from_version: id,
+                to_version,
+                reason: "gate_rejected",
+            });
+            ml4db_obs::counter_add("lifecycle.rejections", 1);
+        }
+        verdict
+    }
+
+    /// Rolls the serving model back to the last good version — the hook
+    /// a post-promotion guard trip or drift verdict fires. Bumps the
+    /// generation (cached plans from the bad model must die) and returns
+    /// the id now serving. A no-op when the serving version *is* the
+    /// last good one.
+    pub fn rollback(&mut self, reason: &'static str) -> u32 {
+        if self.active == self.last_good {
+            return self.active_id();
+        }
+        let from_version = self.active_id();
+        self.versions[self.active].state = LifecycleState::RolledBack;
+        self.active = self.last_good;
+        self.generation += 1;
+        let component = self.component;
+        let to_version = self.active_id();
+        ml4db_obs::emit_with(|| ml4db_obs::Event::Rollback {
+            component,
+            from_version,
+            to_version,
+            reason,
+        });
+        ml4db_obs::counter_add("lifecycle.rollbacks", 1);
+        to_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> ModelRegistry<&'static str> {
+        ModelRegistry::new("card_estimator", GateConfig { tolerance: 0.1 }, "m0")
+    }
+
+    #[test]
+    fn seed_incumbent_serves() {
+        let r = reg();
+        assert_eq!(*r.active(), "m0");
+        assert_eq!(r.active_id(), 0);
+        assert_eq!(r.generation(), 0);
+        assert_eq!(r.active_version().state, LifecycleState::Incumbent);
+    }
+
+    #[test]
+    fn candidate_promotes_through_shadow_and_bumps_generation() {
+        let mut r = reg();
+        let id = r.register_candidate("m1", "retrain");
+        assert_eq!(r.version(id).unwrap().state, LifecycleState::Candidate);
+        r.begin_shadow(id);
+        assert_eq!(r.version(id).unwrap().state, LifecycleState::Shadow);
+        let v = r.try_promote(id, 90.0, 100.0, 95.0);
+        assert!(v.promoted);
+        assert_eq!(*r.active(), "m1");
+        assert_eq!(r.generation(), 1);
+        assert_eq!(r.version(0).unwrap().state, LifecycleState::Incumbent);
+        assert_eq!(r.version(id).unwrap().state, LifecycleState::Promoted);
+    }
+
+    #[test]
+    fn rejected_candidate_never_serves() {
+        let mut r = reg();
+        let id = r.register_candidate("bad", "sabotage");
+        r.begin_shadow(id);
+        let v = r.try_promote(id, 500.0, 100.0, 100.0);
+        assert!(!v.promoted);
+        assert_eq!(*r.active(), "m0");
+        assert_eq!(r.generation(), 0, "a rejection must not bump the epoch input");
+        assert_eq!(r.version(id).unwrap().state, LifecycleState::RolledBack);
+    }
+
+    #[test]
+    fn rollback_restores_last_good_and_bumps_generation() {
+        let mut r = reg();
+        let id = r.register_candidate("m1", "retrain");
+        r.begin_shadow(id);
+        assert!(r.try_promote(id, 90.0, 100.0, 95.0).promoted);
+        let restored = r.rollback("drift");
+        assert_eq!(restored, 0);
+        assert_eq!(*r.active(), "m0");
+        assert_eq!(r.generation(), 2);
+        assert_eq!(r.version(id).unwrap().state, LifecycleState::RolledBack);
+        // Rolling back again is a no-op: already on last-good.
+        assert_eq!(r.rollback("drift"), 0);
+        assert_eq!(r.generation(), 2);
+    }
+
+    #[test]
+    fn history_keeps_every_version() {
+        let mut r = reg();
+        for origin in ["retrain", "retrain", "sabotage"] {
+            let id = r.register_candidate("m", origin);
+            r.begin_shadow(id);
+            r.try_promote(id, 1e9, 1.0, 1.0); // all rejected
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.history()[3].origin, "sabotage");
+    }
+
+    #[test]
+    #[should_panic(expected = "only candidates enter shadow")]
+    fn shadow_requires_candidate() {
+        let mut r = reg();
+        r.begin_shadow(0);
+    }
+}

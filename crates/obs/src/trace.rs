@@ -122,6 +122,57 @@ pub enum Event {
         /// Whether a distribution shift was detected.
         fired: bool,
     },
+    /// A retrained candidate model was registered in a lifecycle
+    /// registry.
+    CandidateTrained {
+        /// Registry component ("card_estimator", "learned_index", ...).
+        component: &'static str,
+        /// Version id assigned to the candidate.
+        version: u32,
+        /// Where the candidate came from ("retrain", "seed", ...).
+        origin: &'static str,
+    },
+    /// The validation gate scored a shadow candidate against the
+    /// incumbent and the classical baseline on a holdout workload.
+    ValidationVerdict {
+        /// Registry component.
+        component: &'static str,
+        /// Candidate version id.
+        version: u32,
+        /// Whether the candidate cleared the gate.
+        promoted: bool,
+        /// Candidate holdout score (lower is better).
+        candidate_score: f64,
+        /// Incumbent holdout score.
+        incumbent_score: f64,
+        /// Classical-baseline holdout score.
+        baseline_score: f64,
+        /// Gate tolerance in force (candidate must be within
+        /// `(1 + tolerance) ×` both references).
+        tolerance: f64,
+    },
+    /// A candidate became the serving model.
+    Promotion {
+        /// Registry component.
+        component: &'static str,
+        /// Promoted version id.
+        version: u32,
+        /// Registry generation after the promotion (the plan-cache
+        /// model-epoch input).
+        generation: u64,
+    },
+    /// The serving model was rolled back to the last good version (or a
+    /// gate rejection returned a candidate to the shelf).
+    Rollback {
+        /// Registry component.
+        component: &'static str,
+        /// Version rolled back from.
+        from_version: u32,
+        /// Version now serving.
+        to_version: u32,
+        /// Why ("gate_rejected", "drift", "invalid_output", ...).
+        reason: &'static str,
+    },
     /// A logical span opened.
     SpanStart {
         /// Span name.
@@ -149,6 +200,10 @@ impl Event {
             Event::GuardTransition { .. } => "guard_transition",
             Event::GuardFallback { .. } => "guard_fallback",
             Event::DriftVerdict { .. } => "drift_verdict",
+            Event::CandidateTrained { .. } => "candidate_trained",
+            Event::ValidationVerdict { .. } => "validation_verdict",
+            Event::Promotion { .. } => "promotion",
+            Event::Rollback { .. } => "rollback",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
         }
@@ -211,6 +266,39 @@ impl Event {
                 o.insert("component".into(), Value::String(component.into()));
                 o.insert("fired".into(), Value::Bool(fired));
             }
+            Event::CandidateTrained { component, version, origin } => {
+                o.insert("component".into(), Value::String(component.into()));
+                o.insert("version".into(), Value::Number(f64::from(version)));
+                o.insert("origin".into(), Value::String(origin.into()));
+            }
+            Event::ValidationVerdict {
+                component,
+                version,
+                promoted,
+                candidate_score,
+                incumbent_score,
+                baseline_score,
+                tolerance,
+            } => {
+                o.insert("component".into(), Value::String(component.into()));
+                o.insert("version".into(), Value::Number(f64::from(version)));
+                o.insert("promoted".into(), Value::Bool(promoted));
+                o.insert("candidate_score".into(), Value::Number(candidate_score));
+                o.insert("incumbent_score".into(), Value::Number(incumbent_score));
+                o.insert("baseline_score".into(), Value::Number(baseline_score));
+                o.insert("tolerance".into(), Value::Number(tolerance));
+            }
+            Event::Promotion { component, version, generation } => {
+                o.insert("component".into(), Value::String(component.into()));
+                o.insert("version".into(), Value::Number(f64::from(version)));
+                o.insert("generation".into(), Value::Number(generation as f64));
+            }
+            Event::Rollback { component, from_version, to_version, reason } => {
+                o.insert("component".into(), Value::String(component.into()));
+                o.insert("from_version".into(), Value::Number(f64::from(from_version)));
+                o.insert("to_version".into(), Value::Number(f64::from(to_version)));
+                o.insert("reason".into(), Value::String(reason.into()));
+            }
             Event::SpanStart { name } | Event::SpanEnd { name } => {
                 o.insert("name".into(), Value::String(name.into()));
             }
@@ -251,6 +339,27 @@ impl Event {
             }
             Event::DriftVerdict { component, fired } => {
                 format!("drift[{component}] {}", if fired { "SHIFT DETECTED" } else { "stable" })
+            }
+            Event::CandidateTrained { component, version, origin } => {
+                format!("lifecycle[{component}] candidate v{version} trained ({origin})")
+            }
+            Event::ValidationVerdict {
+                component,
+                version,
+                promoted,
+                candidate_score,
+                incumbent_score,
+                baseline_score,
+                ..
+            } => format!(
+                "lifecycle[{component}] v{version} gate {}: cand={candidate_score:.2} inc={incumbent_score:.2} base={baseline_score:.2}",
+                if promoted { "PASS" } else { "REJECT" }
+            ),
+            Event::Promotion { component, version, generation } => {
+                format!("lifecycle[{component}] PROMOTED v{version} (gen {generation})")
+            }
+            Event::Rollback { component, from_version, to_version, reason } => {
+                format!("lifecycle[{component}] ROLLBACK v{from_version} -> v{to_version} ({reason})")
             }
             Event::SpanStart { name } => format!("span {name} {{"),
             Event::SpanEnd { name } => format!("}} span {name}"),

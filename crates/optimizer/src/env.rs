@@ -4,6 +4,7 @@
 //! featurization for bandit-style models.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use ml4db_plan::{
@@ -74,6 +75,12 @@ pub struct Env<'a> {
     /// deterministic, so one execution per (query, epoch) suffices for
     /// all regression accounting.
     expert_latency_cache: Mutex<HashMap<CacheKey, f64>>,
+    /// Model generation folded into [`Env::epoch`]: the lifecycle
+    /// registry's generation counter is mirrored here on every promotion
+    /// and rollback, so plans cached under one model version are never
+    /// served under another. Zero (the default) leaves the epoch exactly
+    /// `epoch_of(weights)`.
+    model_epoch: AtomicU64,
 }
 
 impl<'a> Env<'a> {
@@ -85,12 +92,33 @@ impl<'a> Env<'a> {
             estimator: ClassicEstimator,
             plan_cache: PlanCache::new(),
             expert_latency_cache: Mutex::new(HashMap::new()),
+            model_epoch: AtomicU64::new(0),
         }
     }
 
-    /// The current plan-cache epoch: a hash of the cost-model weights.
+    /// The current plan-cache epoch: a hash of the cost-model weights,
+    /// folded with the model generation ([`Env::set_model_epoch`]). A
+    /// model generation of 0 contributes nothing, so environments that
+    /// never touch the lifecycle see the pre-existing weight-only epoch.
     pub fn epoch(&self) -> u64 {
         epoch_of(&self.cost_model.weights)
+            ^ self
+                .model_epoch
+                .load(Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The current model generation (see [`Env::set_model_epoch`]).
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Mirrors the lifecycle registry's generation counter into the
+    /// plan-cache epoch. Call after every promotion *and* rollback:
+    /// cached plans produced with the outgoing model become unreachable
+    /// (they age out rather than being evicted, like weight changes).
+    pub fn set_model_epoch(&self, generation: u64) {
+        self.model_epoch.store(generation, Ordering::Relaxed);
     }
 
     /// The plan cache (for stats: hits, misses, hit rate, residency).
@@ -125,6 +153,31 @@ impl<'a> Env<'a> {
         let mut plan = planner.best_plan(self.db, query, &self.estimator)?;
         self.cost_model.cost_plan(self.db, query, &mut plan, &self.estimator);
         Some(plan)
+    }
+
+    /// Plans `query` with an *arbitrary* cardinality estimator, cached
+    /// under `(query, hints, epoch, tag)`. The `tag` names the estimator
+    /// in the cache key — tag 0 is reserved for the serving model (its
+    /// keys coincide with [`Env::plan_with_hint`]'s key space), nonzero
+    /// tags keep shadow/baseline planning from colliding with it.
+    ///
+    /// This is the serving path the model lifecycle protects: because
+    /// [`Env::epoch`] folds in the model generation, a promotion or
+    /// rollback strands every plan cached here under the old model.
+    pub fn plan_with_estimator<E: CardEstimator>(
+        &self,
+        query: &Query,
+        hint: HintSet,
+        est: &E,
+        tag: u64,
+    ) -> Option<PlanNode> {
+        let key = CacheKey::tagged(query, hint, self.epoch(), tag);
+        self.plan_cache.get_or_insert_with(key, || {
+            let planner = Planner { cost_model: self.cost_model, hint, ..Default::default() };
+            let mut plan = planner.best_plan(self.db, query, est)?;
+            self.cost_model.cost_plan(self.db, query, &mut plan, est);
+            Some(plan)
+        })
     }
 
     /// The expert's default plan.

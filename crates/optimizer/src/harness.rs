@@ -1,12 +1,24 @@
 //! Shared evaluation harness for optimizer experiments: latency
 //! distributions with tail statistics, regression counting against the
-//! expert, and seen/unseen template splits — the measurements behind the
-//! E7/E8 robustness claims.
+//! expert, seen/unseen template splits — the measurements behind the
+//! E7/E8 robustness claims — and the end-to-end model-lifecycle recovery
+//! loop ([`run_shift_recovery`]) that proves a learned component
+//! degrades under an injected workload shift, retrains, passes the
+//! validation gate, and is re-promoted.
 
 use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ml4db_card::{collect_samples, CardSample, DriftDetector, MscnEstimator};
+use ml4db_datagen::ShiftScenario;
+use ml4db_lifecycle::{GateConfig, ModelRegistry};
 use ml4db_nn::metrics::{tail_summary, TailSummary};
-use ml4db_plan::Query;
+use ml4db_plan::{CardEstimator, ClassicEstimator, HintSet, Query, TrueCardinality};
+use ml4db_storage::datasets::{joblite, DatasetConfig};
+use ml4db_storage::Database;
 
 use crate::env::Env;
 
@@ -181,6 +193,300 @@ pub fn split_seen_unseen(queries: &[Query], train_n: usize) -> (Vec<Query>, Vec<
     (train, unseen)
 }
 
+/// Knobs for [`run_shift_recovery`]. The defaults are sized for test
+/// suites: small data, short streams, quick training — every value is
+/// folded into the deterministic run, so two processes with the same
+/// scenario and config produce bit-identical reports.
+#[derive(Clone, Copy, Debug)]
+pub struct ShiftRecoveryConfig {
+    /// `joblite` base rows for the synthetic instance.
+    pub base_rows: usize,
+    /// Length of the pre-shift and post-shift query streams.
+    pub eval_n: usize,
+    /// Length of the gate's holdout stream.
+    pub holdout_n: usize,
+    /// MSCN hidden width.
+    pub hidden: usize,
+    /// Training epochs for incumbent, candidate, and sabotage models.
+    pub epochs: usize,
+    /// Training learning rate.
+    pub lr: f32,
+    /// Gate tolerance (relative slack vs incumbent and baseline).
+    pub tolerance: f64,
+    /// Drift-detector window floor; the harness rounds it up to a whole
+    /// number of post-shift workload cycles so the KS windows compare
+    /// full query mixes, not arbitrary slices of them.
+    pub drift_window: usize,
+    /// Drift-detector KS threshold.
+    pub drift_threshold: f64,
+}
+
+impl Default for ShiftRecoveryConfig {
+    fn default() -> Self {
+        Self {
+            base_rows: 300,
+            eval_n: 24,
+            holdout_n: 14,
+            hidden: 16,
+            epochs: 40,
+            lr: 0.005,
+            tolerance: 0.25,
+            drift_window: 8,
+            drift_threshold: 0.3,
+        }
+    }
+}
+
+/// The outcome of one [`run_shift_recovery`] pass, with enough detail to
+/// assert every leg of the lifecycle claim and a [`bits`](Self::bits)
+/// fingerprint for cross-thread-count identity checks.
+#[derive(Clone, Debug)]
+pub struct ShiftRecoveryReport {
+    /// Scenario name ([`ShiftScenario::name`]).
+    pub scenario: &'static str,
+    /// Incumbent mean |ln q-error| on the pre-shift stream.
+    pub pre_err: f64,
+    /// Incumbent mean |ln q-error| on the post-shift stream (the
+    /// degradation leg).
+    pub shift_err: f64,
+    /// Promoted model's mean |ln q-error| on the post-shift stream (the
+    /// recovery leg).
+    pub recovered_err: f64,
+    /// Whether the drift detector fired on the post-shift error stream.
+    pub drift_fired: bool,
+    /// Whether the detector stayed quiet after rebaselining on the
+    /// recovered model's stream (it re-armed without a stale alarm).
+    pub drift_rearmed: bool,
+    /// Retrained candidate's gate score (total holdout latency, µs).
+    pub candidate_score: f64,
+    /// Incumbent's gate score on the same holdout.
+    pub incumbent_score: f64,
+    /// Classical baseline's gate score on the same holdout.
+    pub baseline_score: f64,
+    /// Whether the retrained candidate cleared the gate.
+    pub promoted: bool,
+    /// Sabotaged candidate's gate score.
+    pub sabotage_score: f64,
+    /// Whether the sabotaged candidate was rejected (and marked rolled
+    /// back) by the gate.
+    pub sabotage_rejected: bool,
+    /// Final registry generation.
+    pub generation: u64,
+    /// Version id serving at the end of the run.
+    pub active_version: u32,
+}
+
+impl ShiftRecoveryReport {
+    /// Order-insensitive 64-bit fingerprint of every field (floats by
+    /// bit pattern) — two runs are "the same" iff their bits agree.
+    pub fn bits(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.scenario.hash(&mut h);
+        for f in [
+            self.pre_err,
+            self.shift_err,
+            self.recovered_err,
+            self.candidate_score,
+            self.incumbent_score,
+            self.baseline_score,
+            self.sabotage_score,
+        ] {
+            f.to_bits().hash(&mut h);
+        }
+        (self.drift_fired, self.drift_rearmed, self.promoted, self.sabotage_rejected)
+            .hash(&mut h);
+        (self.generation, self.active_version).hash(&mut h);
+        h.finish()
+    }
+}
+
+// Estimator tags for [`Env::plan_with_estimator`]: 0 is the serving
+// model; shadow/baseline scoring must not collide with it.
+const TAG_SERVING: u64 = 0;
+const TAG_CANDIDATE: u64 = 1;
+const TAG_BASELINE: u64 = 2;
+const TAG_SABOTAGE: u64 = 3;
+
+/// Drops later queries whose fingerprint repeats an earlier one, so each
+/// per-query trace stream (and report row) has a unique identity.
+pub fn dedup_by_fingerprint(queries: Vec<Query>) -> Vec<Query> {
+    let mut seen = BTreeSet::new();
+    queries.into_iter().filter(|q| seen.insert(q.fingerprint())).collect()
+}
+
+/// Mean |ln q-error| of `est` against the true-cardinality oracle on the
+/// full join of each query, plus the per-query error stream (the drift
+/// detector's food). Serial and deterministic.
+fn qerr_stream<E: CardEstimator>(db: &Database, est: &E, queries: &[Query]) -> (f64, Vec<f64>) {
+    let oracle = TrueCardinality::new();
+    let errs: Vec<f64> = queries
+        .iter()
+        .map(|q| {
+            let truth = oracle.estimate(db, q, q.full_mask()).max(1.0);
+            let guess = est.estimate(db, q, q.full_mask()).max(1.0);
+            (guess / truth).ln().abs()
+        })
+        .collect();
+    let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+    (mean, errs)
+}
+
+/// Gate score: total simulated latency (µs) of executing the plans the
+/// planner chooses when *this* estimator supplies cardinalities, over
+/// the holdout stream. Fanned out over the `ml4db_par` pool in input
+/// order — byte-identical at every thread count.
+fn gate_score<E: CardEstimator + Sync>(
+    env: &Env,
+    holdout: &[Query],
+    est: &E,
+    tag: u64,
+) -> f64 {
+    ml4db_par::par_map(holdout, |q| {
+        ml4db_obs::with_query(q.fingerprint(), || {
+            match env.plan_with_estimator(q, HintSet::all(), est, tag) {
+                Some(p) => env.run(q, &p),
+                None => f64::INFINITY,
+            }
+        })
+    })
+    .iter()
+    .sum()
+}
+
+/// The end-to-end lifecycle loop under one injected shift scenario:
+///
+/// 1. generate a `joblite` instance and train an incumbent MSCN
+///    estimator on the pre-shift workload;
+/// 2. apply the shift; show the incumbent's q-error degrading and the
+///    drift detector firing on the post-shift stream;
+/// 3. retrain on the post-shift workload, replay the holdout in shadow,
+///    and promote through the validation gate (candidate must beat or
+///    match both the incumbent and the classical baseline);
+/// 4. on promotion, mirror the registry generation into the plan-cache
+///    epoch and rebaseline the drift detector; verify it re-arms quiet;
+/// 5. register a deliberately *sabotaged* candidate (trained on labels
+///    corrupted to cardinality 1, the dangerous underestimate) and show
+///    the gate rejects it.
+///
+/// Everything is a pure function of `(scenario, cfg)`: training is
+/// serial and seeded, scoring fans out over order-preserving
+/// `ml4db_par::par_map`, so the report's [`ShiftRecoveryReport::bits`]
+/// is identical across `ML4DB_THREADS` settings.
+pub fn run_shift_recovery(
+    scenario: ShiftScenario,
+    cfg: &ShiftRecoveryConfig,
+) -> ShiftRecoveryReport {
+    let _span = ml4db_obs::span("shift_recovery");
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x5348_4946_545F_5245);
+
+    // The world before the shift.
+    let mut db = Database::analyze(
+        joblite(&DatasetConfig { base_rows: cfg.base_rows, ..Default::default() }, &mut rng),
+        &mut rng,
+    );
+    db.add_index("title", "year");
+    let pre = dedup_by_fingerprint(scenario.pre_workload(&db, cfg.eval_n));
+
+    // Incumbent: trained on the pre-shift regime.
+    let samples = collect_samples(&db, &pre);
+    let mut incumbent = MscnEstimator::new(cfg.hidden, &mut rng);
+    incumbent.fit(&db, &samples, cfg.epochs, cfg.lr, &mut rng);
+    let mut registry = ModelRegistry::new(
+        "card_estimator",
+        GateConfig { tolerance: cfg.tolerance },
+        incumbent,
+    );
+
+    let (pre_err, pre_errs) = qerr_stream(&db, registry.active(), &pre);
+
+    // The shift lands.
+    let shifted = scenario.apply(&db);
+    let post = dedup_by_fingerprint(scenario.post_workload(&shifted, cfg.eval_n));
+    let holdout = dedup_by_fingerprint(scenario.holdout_workload(&shifted, cfg.holdout_n));
+    let env = Env::new(&shifted);
+    env.set_model_epoch(registry.generation());
+
+    let (shift_err, shift_errs) = qerr_stream(&shifted, registry.active(), &post);
+
+    // Drift detector, windowed on a whole number of workload cycles:
+    // per-query errors are heterogeneous, so a window that covers only a
+    // slice of the mix would KS-compare different query subsets and
+    // alarm on a perfectly healthy model. `cfg.drift_window` is the
+    // floor; it is rounded up so a stationary (cyclically repeating)
+    // error stream is provably quiet while a regime change still fires.
+    let cycle = post.len().max(1);
+    let window = cycle * cfg.drift_window.div_ceil(cycle).max(1);
+    let mut drift = DriftDetector::new(window, cfg.drift_threshold);
+    for i in 0..2 * window {
+        drift.observe(pre_errs[i % pre_errs.len().max(1)]);
+    }
+    let mut drift_fired = false;
+    for _ in 0..3 {
+        for e in &shift_errs {
+            drift_fired |= drift.observe(*e);
+        }
+    }
+
+    // Retrain on the post-shift regime; shadow-replay the holdout.
+    let post_samples = collect_samples(&shifted, &post);
+    let mut candidate = MscnEstimator::new(cfg.hidden, &mut rng);
+    candidate.fit(&shifted, &post_samples, cfg.epochs, cfg.lr, &mut rng);
+    let cid = registry.register_candidate(candidate, "retrain");
+    registry.begin_shadow(cid);
+
+    let candidate_score =
+        gate_score(&env, &holdout, &registry.version(cid).expect("registered").model, TAG_CANDIDATE);
+    let incumbent_score = gate_score(&env, &holdout, registry.active(), TAG_SERVING);
+    let baseline_score = gate_score(&env, &holdout, &ClassicEstimator, TAG_BASELINE);
+    let verdict = registry.try_promote(cid, candidate_score, incumbent_score, baseline_score);
+    if verdict.promoted {
+        env.set_model_epoch(registry.generation());
+        drift.rebaseline();
+    }
+
+    // The recovered model's error stream re-arms the detector quietly.
+    let (recovered_err, recovered_errs) = qerr_stream(&shifted, registry.active(), &post);
+    let mut drift_rearmed = verdict.promoted;
+    for _ in 0..3 {
+        for e in &recovered_errs {
+            drift_rearmed &= !drift.observe(*e);
+        }
+    }
+
+    // Sabotage: labels corrupted to the dangerous underestimate.
+    let poisoned: Vec<CardSample> =
+        post_samples.iter().map(|s| CardSample { card: 1.0, ..s.clone() }).collect();
+    let mut saboteur = MscnEstimator::new(cfg.hidden, &mut rng);
+    saboteur.fit(&shifted, &poisoned, cfg.epochs, cfg.lr, &mut rng);
+    let sid = registry.register_candidate(saboteur, "sabotage");
+    registry.begin_shadow(sid);
+    let sabotage_score =
+        gate_score(&env, &holdout, &registry.version(sid).expect("registered").model, TAG_SABOTAGE);
+    let serving_score = gate_score(&env, &holdout, registry.active(), TAG_SERVING);
+    let sabotage_verdict = registry.try_promote(sid, sabotage_score, serving_score, baseline_score);
+    if sabotage_verdict.promoted {
+        // Should never happen; keep the cache epoch honest if it does.
+        env.set_model_epoch(registry.generation());
+    }
+
+    ShiftRecoveryReport {
+        scenario: scenario.name(),
+        pre_err,
+        shift_err,
+        recovered_err,
+        drift_fired,
+        drift_rearmed,
+        candidate_score,
+        incumbent_score,
+        baseline_score,
+        promoted: verdict.promoted,
+        sabotage_score,
+        sabotage_rejected: !sabotage_verdict.promoted,
+        generation: registry.generation(),
+        active_version: registry.active_id(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +560,28 @@ mod tests {
                 "latency {lat} exceeds abort bound for expert {expert}"
             );
         }
+    }
+
+    #[test]
+    fn shift_recovery_smoke() {
+        // One scenario, small knobs: degrade -> retrain -> gate -> promote.
+        let cfg = ShiftRecoveryConfig {
+            base_rows: 200,
+            eval_n: 16,
+            holdout_n: 8,
+            epochs: 25,
+            ..Default::default()
+        };
+        let sc = ml4db_datagen::ShiftScenario::new(ml4db_datagen::ShiftKind::BulkInsert, 11);
+        let r = run_shift_recovery(sc, &cfg);
+        assert!(r.shift_err > r.pre_err, "shift must degrade the incumbent");
+        assert!(r.promoted, "retrained candidate must clear the gate");
+        assert!(r.recovered_err < r.shift_err, "promotion must restore accuracy");
+        assert!(r.sabotage_rejected, "poisoned candidate must be rejected");
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.active_version, 1);
+        // Determinism: the same inputs give bit-identical reports.
+        assert_eq!(r.bits(), run_shift_recovery(sc, &cfg).bits());
     }
 
     #[test]

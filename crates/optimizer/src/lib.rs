@@ -21,7 +21,10 @@
 //!   from observed executions instead of replacing it.
 //!
 //! [`env::Env`] is the shared optimization environment; [`harness`] has the
-//! tail-latency/regression evaluation used by experiments E7–E11 and E16.
+//! tail-latency/regression evaluation used by experiments E7–E11 and E16,
+//! plus [`harness::run_shift_recovery`] — the model-lifecycle loop that
+//! degrades, retrains, gates, and re-promotes a learned component under
+//! the `ml4db-datagen` shift-injection scenarios.
 
 #![warn(missing_docs)]
 
@@ -42,7 +45,8 @@ pub use bao::Bao;
 pub use dq::Dq;
 pub use env::{plan_features, Env, PLAN_FEATURE_DIM};
 pub use harness::{
-    evaluate, evaluate_with_timeout_fallback, split_seen_unseen, EvalReport, ReportRow,
+    dedup_by_fingerprint, evaluate, evaluate_with_timeout_fallback, run_shift_recovery,
+    split_seen_unseen, EvalReport, ReportRow, ShiftRecoveryConfig, ShiftRecoveryReport,
 };
 pub use leon::Leon;
 pub use neo::Neo;

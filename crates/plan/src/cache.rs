@@ -80,6 +80,20 @@ impl CacheKey {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Self { fingerprint: folded, epoch }
     }
+
+    /// Like [`CacheKey::new`], additionally distinguished by an
+    /// estimator `tag` — for callers that plan the same query with
+    /// different cardinality estimators (e.g. a lifecycle gate scoring a
+    /// shadow candidate against the incumbent and the classical
+    /// baseline). Tag `0` is the untagged serving path: it produces the
+    /// exact key [`CacheKey::new`] would.
+    pub fn tagged(query: &Query, hints: HintSet, epoch: u64, tag: u64) -> Self {
+        let base = Self::new(query, hints, epoch);
+        Self {
+            fingerprint: base.fingerprint ^ tag.wrapping_mul(0xD1B5_4A32_D192_ED03),
+            epoch: base.epoch,
+        }
+    }
 }
 
 /// Sharded memoization of `best_plan` results, keyed by
