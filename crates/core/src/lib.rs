@@ -37,6 +37,7 @@ pub use ml4db_par as par;
 pub use ml4db_plan as plan;
 pub use ml4db_pretrain as pretrain;
 pub use ml4db_repr as repr;
+pub use ml4db_serve as serve;
 pub use ml4db_spatial as spatial;
 pub use ml4db_storage as storage;
 pub use ml4db_survey as survey;

@@ -10,6 +10,10 @@
 //!   fit a joint distribution to observed (range, cardinality) constraints
 //!   via iterative proportional fitting and sample a synthetic,
 //!   cardinality-faithful table, optionally from Laplace-privatized counts, and
+//! * [`serve_load`] — seeded closed-loop client populations (think
+//!   times, per-tenant template mixes, priority classes) on a virtual
+//!   clock, driving the `ml4db-serve` front end at 10⁵–10⁶ simulated
+//!   clients, and
 //! * [`shift`] — seeded workload-shift injection scenarios (bulk
 //!   insert/delete, correlation flips, template drift, selectivity
 //!   rotation) that the model-lifecycle harness replays to prove learned
@@ -18,9 +22,11 @@
 #![warn(missing_docs)]
 
 pub mod sam;
+pub mod serve_load;
 pub mod shift;
 pub mod workload;
 
 pub use sam::{observe_constraints, privatize_constraints, RangeConstraint, SamGenerator};
+pub use serve_load::{Arrival, GenRequest, LoadGen, LoadSpec, TemplateMix};
 pub use shift::{key_stream, ShiftKind, ShiftScenario};
 pub use workload::{DriftSchedule, SchemaGraph, WorkloadConfig, WorkloadGenerator};

@@ -64,6 +64,44 @@ impl Histogram {
         Self::new((0..decades).map(|d| 10f64.powi(d as i32)).collect())
     }
 
+    /// Fine-grained geometric bounds for latency quantiles: upper bounds
+    /// grow by ×2^(1/4) (~19%) from 0.25 µs to past 10⁸ µs, ~115 buckets.
+    /// Quantiles read off these buckets ([`Histogram::quantile`]) carry at
+    /// most one bucket ratio of error, tight enough for p50/p99/p999
+    /// serving reports while staying exactly mergeable across shards.
+    pub fn latency_us() -> Self {
+        let ratio = 2f64.powf(0.25);
+        let mut bounds = Vec::new();
+        let mut b = 0.25f64;
+        while b < 2.0e8 {
+            bounds.push(b);
+            b *= ratio;
+        }
+        Self::new(bounds)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// first bucket where the cumulative count reaches `ceil(q · total)`,
+    /// clamped to the observed `[min, max]` so reported quantiles never
+    /// exceed any real observation. `None` before any observation.
+    /// Deterministic: a pure function of the (mergeable) bucket counts.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let upper = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                return Some(upper.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// The bucket index `v` falls into: the first bound `>= v`, or the
     /// overflow bucket. NaN returns `None`.
     pub fn bucket_for(&self, v: f64) -> Option<usize> {
@@ -322,6 +360,46 @@ mod tests {
         assert_eq!(h.nan_count, 1);
         let j = h.to_json().to_string();
         assert!(j.contains("nan_count"), "{j}");
+    }
+
+    #[test]
+    fn quantiles_track_bucket_uppers_and_clamp_to_observations() {
+        let mut h = Histogram::latency_us();
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(100.0);
+        // A single observation: every quantile is that observation (the
+        // bucket upper bound clamps to max).
+        assert_eq!(h.quantile(0.0), Some(100.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        for v in [10.0, 20.0, 30.0, 40.0, 1000.0] {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((20.0..=45.0).contains(&p50), "p50 ≈ 30µs ±bucket, got {p50}");
+        let p999 = h.quantile(0.999).unwrap();
+        assert_eq!(p999, 1000.0, "tail quantile clamps to observed max");
+        // Quantiles survive merging exactly: counts are the only state.
+        let mut a = Histogram::latency_us();
+        let mut b = Histogram::latency_us();
+        for v in [10.0, 20.0, 30.0] {
+            a.observe(v);
+        }
+        for v in [40.0, 100.0, 1000.0] {
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.quantile(0.5), h.quantile(0.5));
+        assert_eq!(a.quantile(0.99), h.quantile(0.99));
+    }
+
+    #[test]
+    fn latency_buckets_are_fine_enough_for_p99() {
+        let h = Histogram::latency_us();
+        // Worst-case quantile error is one bucket ratio: ≤ 2^(1/4).
+        for w in h.bounds().windows(2) {
+            assert!(w[1] / w[0] < 1.20, "bucket ratio too coarse: {:?}", w);
+        }
+        assert!(h.bounds()[0] <= 0.25 && *h.bounds().last().unwrap() >= 1.0e8);
     }
 
     #[test]

@@ -173,6 +173,18 @@ pub enum Event {
         /// Why ("gate_rejected", "drift", "invalid_output", ...).
         reason: &'static str,
     },
+    /// The serving layer's admission controller decided one request's
+    /// fate (see `ml4db-serve`).
+    ServeVerdict {
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Priority class (0 = most latency-sensitive).
+        class: u8,
+        /// "admitted", "shed", or "rejected".
+        verdict: &'static str,
+        /// Queue occupancy observed at decision time.
+        queue_depth: u32,
+    },
     /// A logical span opened.
     SpanStart {
         /// Span name.
@@ -204,6 +216,7 @@ impl Event {
             Event::ValidationVerdict { .. } => "validation_verdict",
             Event::Promotion { .. } => "promotion",
             Event::Rollback { .. } => "rollback",
+            Event::ServeVerdict { .. } => "serve_verdict",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
         }
@@ -299,6 +312,12 @@ impl Event {
                 o.insert("to_version".into(), Value::Number(f64::from(to_version)));
                 o.insert("reason".into(), Value::String(reason.into()));
             }
+            Event::ServeVerdict { tenant, class, verdict, queue_depth } => {
+                o.insert("tenant".into(), Value::Number(f64::from(tenant)));
+                o.insert("class".into(), Value::Number(f64::from(class)));
+                o.insert("verdict".into(), Value::String(verdict.into()));
+                o.insert("queue_depth".into(), Value::Number(f64::from(queue_depth)));
+            }
             Event::SpanStart { name } | Event::SpanEnd { name } => {
                 o.insert("name".into(), Value::String(name.into()));
             }
@@ -360,6 +379,9 @@ impl Event {
             }
             Event::Rollback { component, from_version, to_version, reason } => {
                 format!("lifecycle[{component}] ROLLBACK v{from_version} -> v{to_version} ({reason})")
+            }
+            Event::ServeVerdict { tenant, class, verdict, queue_depth } => {
+                format!("serve[t{tenant}/c{class}] {verdict} depth={queue_depth}")
             }
             Event::SpanStart { name } => format!("span {name} {{"),
             Event::SpanEnd { name } => format!("}} span {name}"),

@@ -1,9 +1,27 @@
-//! The optimization environment shared by every learned optimizer: a
-//! database, the expert planner (DP + formula cost model + classical
-//! estimator), plan execution with simulated latency, and a flat plan
-//! featurization for bandit-style models.
+//! The engine core shared by every learned optimizer *and* the serving
+//! layer: a database, the expert planner (DP + formula cost model +
+//! classical estimator), plan execution with simulated latency, and a
+//! flat plan featurization for bandit-style models.
+//!
+//! # Engine vs. session views
+//!
+//! [`Env`] is the **engine core**: all of its state is either immutable
+//! after construction (`db`, `estimator`), epoch-keyed (`cost_model`
+//! changes move the cache epoch), or sharded behind short critical
+//! sections (the plan cache and the expert-latency memo). Every shared
+//! mutex in the hot path recovers from poisoning, so one panicking
+//! worker can never wedge the engine.
+//!
+//! Concurrent callers — `ml4db-par` workers in batch mode, serving
+//! workers in `ml4db-serve` — take a cheap [`SessionView`] via
+//! [`Env::session`]: a per-session/per-worker facade adding a small
+//! *lock-free* local plan memo in front of the sharded shared cache, so
+//! a session re-issuing its own templates never touches a shared lock
+//! at all. Views borrow the engine; creating one allocates a `HashMap`
+//! and nothing else.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -50,6 +68,49 @@ pub fn plan_features(plan: &PlanNode) -> Vec<f32> {
     ]
 }
 
+/// Sharded expert-latency memo: the serving hot path reads this on
+/// every request that charges a baseline, so it gets the same
+/// contention treatment as the plan cache — independent mutex-guarded
+/// maps selected by key hash, values computed outside the lock, and
+/// poison recovery on every acquisition (an f64 map is always valid
+/// data no matter where a panic landed).
+struct LatencyShards {
+    shards: Vec<Mutex<HashMap<CacheKey, f64>>>,
+}
+
+impl LatencyShards {
+    fn new(n: usize) -> Self {
+        Self { shards: (0..n.max(1)).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, f64>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<f64> {
+        self.shard(key).lock().unwrap_or_else(|e| e.into_inner()).get(key).copied()
+    }
+
+    fn insert(&self, key: CacheKey, v: f64) {
+        self.shard(&key).lock().unwrap_or_else(|e| e.into_inner()).insert(key, v);
+    }
+
+    /// Poisons one shard the way a panicking worker would (test hook for
+    /// the serving poison-regression suite).
+    #[doc(hidden)]
+    fn poison_first_shard(&self) {
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = self.shards[0].lock().unwrap();
+                panic!("poison the latency shard");
+            })
+            .join()
+        });
+    }
+}
+
 /// The environment: database + expert planner + executor, with a
 /// process-wide-safe [`PlanCache`] memoizing every `plan_with_hint` call.
 ///
@@ -73,8 +134,9 @@ pub struct Env<'a> {
     plan_cache: PlanCache,
     /// Memoized expert latencies: the simulated executor is
     /// deterministic, so one execution per (query, epoch) suffices for
-    /// all regression accounting.
-    expert_latency_cache: Mutex<HashMap<CacheKey, f64>>,
+    /// all regression accounting. Sharded like the plan cache — this is
+    /// read on every served request that charges a baseline.
+    expert_latency_cache: LatencyShards,
     /// Model generation folded into [`Env::epoch`]: the lifecycle
     /// registry's generation counter is mirrored here on every promotion
     /// and rollback, so plans cached under one model version are never
@@ -91,7 +153,7 @@ impl<'a> Env<'a> {
             cost_model: CostModel::default(),
             estimator: ClassicEstimator,
             plan_cache: PlanCache::new(),
-            expert_latency_cache: Mutex::new(HashMap::new()),
+            expert_latency_cache: LatencyShards::new(16),
             model_epoch: AtomicU64::new(0),
         }
     }
@@ -197,17 +259,13 @@ impl<'a> Env<'a> {
     /// is what evaluation harnesses should charge as the baseline — it
     /// never re-runs the expert for a query it has already measured.
     pub fn expert_latency(&self, query: &Query) -> Option<f64> {
-        // Recover from poisoning rather than unwrap: a worker thread that
-        // panicked mid-evaluation (e.g. a faulty learned planner) must not
-        // cascade into every later expert-latency lookup. The cached map
-        // is just f64s — always valid, even if a panic interleaved.
+        // Shard locks recover from poisoning rather than unwrap: a worker
+        // thread that panicked mid-evaluation (e.g. a faulty learned
+        // planner) must not cascade into every later expert-latency
+        // lookup. The cached maps are just f64s — always valid, even if a
+        // panic interleaved.
         let key = CacheKey::new(query, HintSet::all(), self.epoch());
-        if let Some(&lat) = self
-            .expert_latency_cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-        {
+        if let Some(lat) = self.expert_latency_cache.get(&key) {
             ml4db_obs::emit_with(|| ml4db_obs::Event::CacheLookup {
                 cache: "expert_latency",
                 hit: true,
@@ -225,12 +283,28 @@ impl<'a> Env<'a> {
         // thread computes the same value).
         let plan = self.expert_plan(query)?;
         let lat = self.run(query, &plan);
-        self.expert_latency_cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, lat);
+        self.expert_latency_cache.insert(key, lat);
         ml4db_obs::emit_with(|| ml4db_obs::Event::ExpertLatency { latency_us: lat });
         Some(lat)
+    }
+
+    /// Poisons one expert-latency shard exactly the way a panicking
+    /// worker would, so serving suites can regression-test that a
+    /// poisoned shard never wedges the hot path. Test hook only.
+    #[doc(hidden)]
+    pub fn poison_latency_shard_for_test(&self) {
+        self.expert_latency_cache.poison_first_shard();
+    }
+
+    /// A cheap per-session view of this engine. See [`SessionView`].
+    pub fn session(&self, session_id: u64) -> SessionView<'_, 'a> {
+        SessionView {
+            env: self,
+            session_id,
+            local: HashMap::new(),
+            local_hits: 0,
+            local_misses: 0,
+        }
     }
 
     /// Executes a plan, returning the simulated latency in µs.
@@ -282,6 +356,87 @@ impl<'a> Env<'a> {
     /// Estimated cardinality of a sub-join under the expert estimator.
     pub fn estimate(&self, query: &Query, mask: u64) -> f64 {
         self.estimator.estimate(self.db, query, mask)
+    }
+}
+
+/// Entries a session memo holds before it resets — big enough for any
+/// realistic per-client template set, small enough that a million idle
+/// sessions cannot hoard plans.
+const SESSION_MEMO_CAP: usize = 256;
+
+/// A cheap per-session (or per-worker) view of an [`Env`] engine core.
+///
+/// The view adds one thing the shared engine cannot: a **lock-free**
+/// local plan memo. Serving clients are template-driven — a session
+/// mostly re-issues the handful of parameterized queries its tenant's
+/// workload mix assigns it — so the common hot-path read is answered
+/// from this view's own `HashMap` without touching even a sharded lock.
+/// Misses fall through to the engine's sharded [`PlanCache`], keeping
+/// every view coherent: the memo is keyed by the same epoch-carrying
+/// [`CacheKey`], so a cost-model recalibration or model promotion
+/// strands local entries exactly as it strands shared ones.
+///
+/// Views are plain borrows: create one per serving worker or per
+/// simulated client batch, drop it when done. Nothing is written back
+/// to the engine on drop.
+pub struct SessionView<'e, 'db> {
+    env: &'e Env<'db>,
+    session_id: u64,
+    local: HashMap<CacheKey, Option<PlanNode>>,
+    local_hits: u64,
+    local_misses: u64,
+}
+
+impl<'e, 'db> SessionView<'e, 'db> {
+    /// The engine this view fronts.
+    pub fn engine(&self) -> &'e Env<'db> {
+        self.env
+    }
+
+    /// The session id this view was created with.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Lookups answered by the session-local memo (no shared state).
+    pub fn local_hits(&self) -> u64 {
+        self.local_hits
+    }
+
+    /// Lookups that fell through to the engine's sharded plan cache.
+    pub fn local_misses(&self) -> u64 {
+        self.local_misses
+    }
+
+    /// The expert plan for `query` under `hint`, answered from the
+    /// session memo when this view has seen the key before, else from
+    /// the engine (which memoizes it shard-wide).
+    pub fn plan_with_hint(&mut self, query: &Query, hint: HintSet) -> Option<PlanNode> {
+        let key = CacheKey::new(query, hint, self.env.epoch());
+        if let Some(p) = self.local.get(&key) {
+            self.local_hits += 1;
+            return p.clone();
+        }
+        self.local_misses += 1;
+        let plan = self.env.plan_with_hint(query, hint);
+        if self.local.len() >= SESSION_MEMO_CAP {
+            self.local.clear();
+        }
+        self.local.insert(key, plan.clone());
+        plan
+    }
+
+    /// The expert's default plan through the session memo.
+    pub fn expert_plan(&mut self, query: &Query) -> Option<PlanNode> {
+        self.plan_with_hint(query, HintSet::all())
+    }
+
+    /// Plans and executes `query` end to end, returning the simulated
+    /// latency in µs — the one-call serving path. `None` when the
+    /// planner admits no plan.
+    pub fn serve(&mut self, query: &Query) -> Option<f64> {
+        let plan = self.expert_plan(query)?;
+        Some(self.env.run(query, &plan))
     }
 }
 
@@ -363,19 +518,63 @@ mod tests {
         let env = std::sync::Arc::new(Env::new(&db));
         let q = query();
         let baseline = env.expert_latency(&q).unwrap();
-        // Poison the latency-cache mutex from a panicking thread, the way
-        // a faulty learned planner inside a par_map worker would.
-        let env2 = env.clone();
-        let _ = std::thread::scope(|s| {
-            s.spawn(|| {
-                let _guard = env2.expert_latency_cache.lock().unwrap();
-                panic!("poison the latency cache");
-            })
-            .join()
-        });
-        assert!(env.expert_latency_cache.is_poisoned());
+        // Poison every latency shard from panicking threads, the way a
+        // faulty learned planner inside a par_map worker would.
+        for shard in &env.expert_latency_cache.shards {
+            let _ = std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _guard = shard.lock().unwrap();
+                    panic!("poison the latency cache");
+                })
+                .join()
+            });
+            assert!(shard.is_poisoned());
+        }
         // Lookups must keep working (and stay deterministic) afterwards.
         assert_eq!(env.expert_latency(&q).unwrap(), baseline);
+    }
+
+    #[test]
+    fn session_view_answers_repeats_locally() {
+        let db = db();
+        let env = Env::new(&db);
+        let q = query();
+        let mut view = env.session(7);
+        assert_eq!(view.session_id(), 7);
+        let first = view.serve(&q).unwrap();
+        let shared_misses = env.plan_cache().misses();
+        let again = view.serve(&q).unwrap();
+        assert_eq!(first, again, "simulated latency is deterministic");
+        assert_eq!(view.local_hits(), 1, "repeat must hit the session memo");
+        assert_eq!(
+            env.plan_cache().misses(),
+            shared_misses,
+            "repeat must not re-plan in the shared cache"
+        );
+        // A second session sees the shared cache warm: no replanning,
+        // but its own memo starts cold.
+        let mut other = env.session(8);
+        assert_eq!(other.serve(&q).unwrap(), first);
+        assert_eq!(other.local_hits(), 0);
+        assert_eq!(env.plan_cache().misses(), shared_misses);
+    }
+
+    #[test]
+    fn session_view_sees_epoch_changes() {
+        let db = db();
+        let mut env = Env::new(&db);
+        let q = query();
+        let mut view = env.session(1);
+        let before = view.expert_plan(&q).unwrap();
+        drop(view);
+        // Recalibrating the cost model moves the epoch; a fresh view must
+        // re-plan rather than serve a stale memo entry.
+        env.cost_model.weights.random_page *= 4.0;
+        let mut view = env.session(1);
+        let after = view.expert_plan(&q).unwrap();
+        assert_eq!(view.local_misses(), 1);
+        // Plans may or may not change shape; the point is the key moved.
+        let _ = (before, after);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use autosteer::{discover_hint_sets, AutoSteer};
 pub use balsa::Balsa;
 pub use bao::Bao;
 pub use dq::Dq;
-pub use env::{plan_features, Env, PLAN_FEATURE_DIM};
+pub use env::{plan_features, Env, SessionView, PLAN_FEATURE_DIM};
 pub use harness::{
     dedup_by_fingerprint, evaluate, evaluate_with_timeout_fallback, run_shift_recovery,
     split_seen_unseen, EvalReport, ReportRow, ShiftRecoveryConfig, ShiftRecoveryReport,

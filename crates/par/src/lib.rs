@@ -104,7 +104,11 @@ where
                 let end = (start + chunk).min(items.len());
                 let out: Vec<U> =
                     items[start..end].iter().enumerate().map(|(i, t)| f(start + i, t)).collect();
-                done.lock().unwrap().push((start, out));
+                // Poison-recover: the accumulator only ever holds fully
+                // computed chunks, so a sibling worker's panic (which
+                // `thread::scope` will re-raise anyway) must not also
+                // poison result collection for chunks already finished.
+                done.lock().unwrap_or_else(|e| e.into_inner()).push((start, out));
             });
         }
     });

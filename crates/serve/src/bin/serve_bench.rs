@@ -1,0 +1,97 @@
+//! Serving benchmark: drives the deterministic closed-loop simulator at
+//! a 10⁵-client scale and writes `BENCH_serve.json`.
+//!
+//! Every headline number (queries/s, p99 µs, shed rate) is measured on
+//! the **virtual** clock, so the file is byte-stable across machines
+//! and across `ML4DB_THREADS`; the only wall-clock figure is the
+//! non-canonical `drive_rate_per_sec` (how fast this host stepped the
+//! simulation), included for curiosity and excluded from any
+//! comparison.
+//!
+//! Knobs (all optional, all env vars):
+//!
+//! * `ML4DB_SERVE_CLIENTS`   — virtual clients (default 100 000)
+//! * `ML4DB_SERVE_REQUESTS`  — total requests issued (default 150 000)
+//! * `ML4DB_SERVE_THINK_NS`  — mean think time in virtual ns
+//! * `ML4DB_SERVE_WORKERS`   — virtual service workers (default 8)
+//! * `ML4DB_SERVE_SEED`      — load seed (default 42)
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ml4db_datagen::{LoadGen, LoadSpec, SchemaGraph, TemplateMix};
+use ml4db_obs as obs;
+use ml4db_optimizer::Env;
+use ml4db_serve::{run_closed_loop, AdmissionConfig, SimConfig};
+use ml4db_storage::datasets::{joblite, DatasetConfig};
+use ml4db_storage::Database;
+use serde_json::Value;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_u64("ML4DB_SERVE_CLIENTS", 100_000) as u32;
+    let requests = env_u64("ML4DB_SERVE_REQUESTS", 60_000);
+    let think_ns = env_u64("ML4DB_SERVE_THINK_NS", 4_000_000_000);
+    let workers = env_u64("ML4DB_SERVE_WORKERS", 8) as usize;
+    let seed = env_u64("ML4DB_SERVE_SEED", 42);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = Database::analyze(
+        joblite(&DatasetConfig { base_rows: 400, ..Default::default() }, &mut rng),
+        &mut rng,
+    );
+    let env = Env::new(&db);
+    let mix = TemplateMix::generate(&db, &SchemaGraph::joblite(), 4, 6, 4, seed ^ 0xA5A5);
+    let spec = LoadSpec {
+        clients,
+        classes: 3,
+        mean_think_ns: think_ns,
+        total_requests: requests,
+    };
+    let mut gen = LoadGen::new(spec, mix, seed);
+
+    let cfg = SimConfig {
+        workers,
+        admission: AdmissionConfig { capacity: 256, soft_limit: 192, classes: 3, seed },
+    };
+
+    obs::set_mode(obs::Mode::Noop);
+    let wall = Instant::now();
+    let report = run_closed_loop(&env, &mut gen, &cfg);
+    let drive_secs = wall.elapsed().as_secs_f64();
+
+    let mut o = match report.to_canonical_json() {
+        Value::Object(o) => o,
+        _ => BTreeMap::new(),
+    };
+    o.insert("bench".to_string(), Value::String("serve_closed_loop".to_string()));
+    o.insert("clients".to_string(), Value::Number(f64::from(clients)));
+    o.insert("requests".to_string(), Value::Number(requests as f64));
+    o.insert("workers".to_string(), Value::Number(workers as f64));
+    o.insert("seed".to_string(), Value::Number(seed as f64));
+    // Non-canonical: how fast this host drove the virtual clock. Never
+    // compare this across machines; it is not part of the report proper.
+    o.insert(
+        "drive_rate_per_sec_noncanonical".to_string(),
+        Value::Number(if drive_secs > 0.0 { report.submitted() as f64 / drive_secs } else { 0.0 }),
+    );
+    let json = Value::Object(o).to_string();
+
+    std::fs::write("BENCH_serve.json", format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!(
+        "serve_bench: {} submitted, {} completed, qps={:.1}, p99={:?}us, shed_rate={:.4}, wall={:.2}s",
+        report.submitted(),
+        report.completed(),
+        report.queries_per_sec.unwrap_or(0.0),
+        report.p99_us(),
+        report.shed_rate(),
+        drive_secs
+    );
+}

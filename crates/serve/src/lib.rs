@@ -1,0 +1,40 @@
+//! # ml4db-serve — the always-on serving front end
+//!
+//! Everything else in the workspace runs as batch experiments: build an
+//! [`Env`](ml4db_optimizer::Env), sweep a workload, write a report.
+//! This crate puts a *serving surface* in front of the same engine —
+//! sessions submit queries continuously, admission control decides who
+//! gets in, a worker pool plans and executes, and per-tenant ledgers
+//! account for every request exactly once.
+//!
+//! The crate has two front ends over one set of parts:
+//!
+//! * [`server::Server`] — the threaded server. Real worker threads,
+//!   condvar-backed response delivery, panic containment. Its
+//!   accounting is exact (the stress suite pins exactly-once per
+//!   tenant) but its interleavings are whatever the OS scheduler
+//!   produces, so latency numbers from it are wall-clock and
+//!   non-canonical.
+//! * [`sim::run_closed_loop`] — the deterministic discrete-event
+//!   simulator. Same admission queue, same session views, same
+//!   per-tenant ledgers, but service times are the executor's
+//!   *simulated* latencies on a virtual nanosecond clock. Its report is
+//!   a pure function of `(database, spec, mix, seed, config)` and is
+//!   byte-identical across runs and `ML4DB_THREADS` settings — this is
+//!   where `BENCH_serve.json` comes from.
+//!
+//! Shared parts: [`admission::AdmissionQueue`] (bounded, classed,
+//! seeded shedding), [`report::ServeReport`] (exactly-once ledgers +
+//! quantiles from mergeable histograms), and per-worker
+//! [`SessionView`](ml4db_optimizer::SessionView)s so the hot path reads
+//! session-local memo before touching shared sharded state.
+
+pub mod admission;
+pub mod report;
+pub mod server;
+pub mod sim;
+
+pub use admission::{AdmissionConfig, AdmissionQueue, AdmissionVerdict, Ticket};
+pub use report::{ServeReport, TenantReport};
+pub use server::{Outcome, Request, Response, ServeConfig, Server};
+pub use sim::{run_closed_loop, SimConfig};

@@ -1,0 +1,244 @@
+//! Per-tenant serving reports: exactly-once accounting plus latency
+//! quantiles out of `ml4db-obs` histograms.
+
+use std::collections::BTreeMap;
+
+use ml4db_obs::Histogram;
+use serde_json::Value;
+
+/// One tenant's serving ledger. The accounting identity
+/// `admitted + shed + rejected == submitted` and
+/// `completed + failed == admitted` (once drained) are the serving
+/// layer's exactly-once contract; [`ServeReport::check_invariants`]
+/// asserts them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantReport {
+    /// Requests offered by this tenant's sessions.
+    pub submitted: u64,
+    /// Requests admitted past the queue.
+    pub admitted: u64,
+    /// Requests refused by load control.
+    pub shed: u64,
+    /// Malformed requests refused outright.
+    pub rejected: u64,
+    /// Admitted requests that executed to a result.
+    pub completed: u64,
+    /// Admitted requests that could not produce a result (no plan, or a
+    /// panic contained by the worker).
+    pub failed: u64,
+    /// p50 sojourn/latency in µs (`None` before any completion).
+    pub p50_us: Option<f64>,
+    /// p99 sojourn/latency in µs.
+    pub p99_us: Option<f64>,
+    /// p999 sojourn/latency in µs.
+    pub p999_us: Option<f64>,
+}
+
+impl TenantReport {
+    /// Fills the quantile fields from a latency histogram.
+    pub fn with_quantiles(mut self, h: &Histogram) -> Self {
+        self.p50_us = h.quantile(0.50);
+        self.p99_us = h.quantile(0.99);
+        self.p999_us = h.quantile(0.999);
+        self
+    }
+}
+
+/// The whole run's serving report: per-tenant ledgers plus run-level
+/// throughput. Canonical JSON is deterministic (sorted keys, exact
+/// counts, quantiles derived from mergeable bucket counts).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Per-tenant ledgers, indexed by tenant id.
+    pub tenants: Vec<TenantReport>,
+    /// Virtual makespan of the run in nanoseconds (simulated runs only).
+    pub virtual_ns: Option<u64>,
+    /// Completed queries per *virtual* second (simulated runs only).
+    pub queries_per_sec: Option<f64>,
+}
+
+impl ServeReport {
+    /// Sum of a per-tenant field across tenants.
+    fn sum(&self, f: impl Fn(&TenantReport) -> u64) -> u64 {
+        self.tenants.iter().map(f).sum()
+    }
+
+    /// Total requests submitted.
+    pub fn submitted(&self) -> u64 {
+        self.sum(|t| t.submitted)
+    }
+
+    /// Total requests admitted.
+    pub fn admitted(&self) -> u64 {
+        self.sum(|t| t.admitted)
+    }
+
+    /// Total requests shed.
+    pub fn shed(&self) -> u64 {
+        self.sum(|t| t.shed)
+    }
+
+    /// Total requests rejected.
+    pub fn rejected(&self) -> u64 {
+        self.sum(|t| t.rejected)
+    }
+
+    /// Total requests completed.
+    pub fn completed(&self) -> u64 {
+        self.sum(|t| t.completed)
+    }
+
+    /// Total admitted requests that failed to produce a result.
+    pub fn failed(&self) -> u64 {
+        self.sum(|t| t.failed)
+    }
+
+    /// Fraction of submitted requests shed; 0 when nothing was offered.
+    pub fn shed_rate(&self) -> f64 {
+        let s = self.submitted();
+        if s == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / s as f64
+        }
+    }
+
+    /// Worst p99 across tenants, the serving headline number.
+    pub fn p99_us(&self) -> Option<f64> {
+        self.tenants.iter().filter_map(|t| t.p99_us).fold(None, |a, v| {
+            Some(match a {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// Asserts the exactly-once ledger identities, per tenant and in
+    /// total. `drained` additionally requires every admitted request to
+    /// have resolved (`completed + failed == admitted`).
+    ///
+    /// # Panics
+    /// Panics with the violated identity when accounting is broken.
+    pub fn check_invariants(&self, drained: bool) {
+        for (i, t) in self.tenants.iter().enumerate() {
+            assert_eq!(
+                t.admitted + t.shed + t.rejected,
+                t.submitted,
+                "tenant {i}: admitted+shed+rejected != submitted ({t:?})"
+            );
+            assert!(
+                t.completed + t.failed <= t.admitted,
+                "tenant {i}: more resolutions than admissions ({t:?})"
+            );
+            if drained {
+                assert_eq!(
+                    t.completed + t.failed,
+                    t.admitted,
+                    "tenant {i}: admitted request lost ({t:?})"
+                );
+            }
+        }
+    }
+
+    /// Deterministic JSON rendering: sorted keys, counts exact,
+    /// quantiles from bucket counts. Wall-clock never appears here.
+    pub fn to_canonical_json(&self) -> Value {
+        let quant = |v: Option<f64>| v.map(Value::Number).unwrap_or(Value::Null);
+        let tenants: Vec<Value> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut o = BTreeMap::new();
+                o.insert("tenant".to_string(), Value::Number(i as f64));
+                o.insert("submitted".to_string(), Value::Number(t.submitted as f64));
+                o.insert("admitted".to_string(), Value::Number(t.admitted as f64));
+                o.insert("shed".to_string(), Value::Number(t.shed as f64));
+                o.insert("rejected".to_string(), Value::Number(t.rejected as f64));
+                o.insert("completed".to_string(), Value::Number(t.completed as f64));
+                o.insert("failed".to_string(), Value::Number(t.failed as f64));
+                o.insert("p50_us".to_string(), quant(t.p50_us));
+                o.insert("p99_us".to_string(), quant(t.p99_us));
+                o.insert("p999_us".to_string(), quant(t.p999_us));
+                Value::Object(o)
+            })
+            .collect();
+        let mut o = BTreeMap::new();
+        o.insert("tenants".to_string(), Value::Array(tenants));
+        o.insert("submitted".to_string(), Value::Number(self.submitted() as f64));
+        o.insert("admitted".to_string(), Value::Number(self.admitted() as f64));
+        o.insert("shed".to_string(), Value::Number(self.shed() as f64));
+        o.insert("rejected".to_string(), Value::Number(self.rejected() as f64));
+        o.insert("completed".to_string(), Value::Number(self.completed() as f64));
+        o.insert("failed".to_string(), Value::Number(self.failed() as f64));
+        o.insert("shed_rate".to_string(), Value::Number(self.shed_rate()));
+        o.insert("p99_us".to_string(), quant(self.p99_us()));
+        if let Some(v) = self.virtual_ns {
+            o.insert("virtual_ns".to_string(), Value::Number(v as f64));
+        }
+        if let Some(q) = self.queries_per_sec {
+            o.insert("queries_per_sec".to_string(), Value::Number(q));
+        }
+        Value::Object(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariants_catch_lost_requests() {
+        let good = ServeReport {
+            tenants: vec![TenantReport {
+                submitted: 10,
+                admitted: 7,
+                shed: 2,
+                rejected: 1,
+                completed: 7,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        good.check_invariants(true);
+        let lost = ServeReport {
+            tenants: vec![TenantReport {
+                submitted: 10,
+                admitted: 7,
+                shed: 2,
+                rejected: 1,
+                completed: 6,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        lost.check_invariants(false); // in flight is fine...
+        let r = std::panic::catch_unwind(|| lost.check_invariants(true));
+        assert!(r.is_err(), "...but a drained run must resolve every admission");
+    }
+
+    #[test]
+    fn canonical_json_is_stable_and_complete() {
+        let mut h = Histogram::latency_us();
+        for v in [10.0, 20.0, 500.0] {
+            h.observe(v);
+        }
+        let rep = ServeReport {
+            tenants: vec![TenantReport {
+                submitted: 3,
+                admitted: 3,
+                completed: 3,
+                ..Default::default()
+            }
+            .with_quantiles(&h)],
+            virtual_ns: Some(1_000_000),
+            queries_per_sec: Some(3000.0),
+        };
+        let a = rep.to_canonical_json().to_string();
+        let b = rep.to_canonical_json().to_string();
+        assert_eq!(a, b);
+        for key in ["queries_per_sec", "p99_us", "shed_rate", "tenants"] {
+            assert!(a.contains(key), "missing {key}: {a}");
+        }
+    }
+}
