@@ -26,7 +26,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ml4db_index::{KeyValue, OrderedIndex};
+use ml4db_index::{KeyValue, OrderedIndex, TwoPhaseIndex};
 
 use crate::breaker::{BreakerConfig, CircuitBreaker, Decision, TripReason};
 
@@ -102,6 +102,84 @@ impl<L: OrderedIndex, C: OrderedIndex> GuardedIndex<L, C> {
     fn scheduled_audit(&self, nth_learned_call: u64) -> bool {
         nth_learned_call <= self.warmup_audits
             || (self.audit_every > 0 && nth_learned_call % self.audit_every == 0)
+    }
+}
+
+impl<L: TwoPhaseIndex, C: OrderedIndex> GuardedIndex<L, C> {
+    /// Guarded batched point lookups (two-phase fast path) into a
+    /// caller-owned buffer.
+    ///
+    /// The batch counts as one breaker call. Every learned miss in the
+    /// batch is cross-checked against the classical index before `None` is
+    /// served (and repaired on disagreement), so served answers are always
+    /// correct; on the audit schedule the whole batch is verified.
+    pub fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        self.lookup_batch_impl(keys, out, false);
+    }
+
+    /// [`Self::lookup_batch`] for ascending probe keys, using the learned
+    /// index's sorted-probe fast path (previous-segment reuse, floored
+    /// windows).
+    pub fn lookup_batch_sorted(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        self.lookup_batch_impl(keys, out, true);
+    }
+
+    fn lookup_batch_impl(&self, keys: &[u64], out: &mut Vec<Option<u64>>, sorted: bool) {
+        out.clear();
+        match self.breaker.begin_call() {
+            Decision::UseClassical => {
+                out.extend(keys.iter().map(|&k| self.classical.get(k)));
+            }
+            Decision::UseLearned { shadow } => {
+                let nth = self.learned_calls.fetch_add(1, Ordering::Relaxed) + 1;
+                let learned = catch_unwind(AssertUnwindSafe(|| {
+                    let mut buf = Vec::with_capacity(keys.len());
+                    if sorted {
+                        self.learned.lookup_batch_sorted(keys, &mut buf);
+                    } else {
+                        self.learned.lookup_batch(keys, &mut buf);
+                    }
+                    buf
+                }));
+                let res = match learned {
+                    Err(_) => {
+                        self.breaker.record_failure(TripReason::Panic);
+                        out.extend(keys.iter().map(|&k| self.classical.get(k)));
+                        return;
+                    }
+                    Ok(r) => r,
+                };
+                if res.len() != keys.len() {
+                    self.breaker.record_failure(TripReason::InvalidOutput);
+                    out.extend(keys.iter().map(|&k| self.classical.get(k)));
+                    return;
+                }
+                let full_audit = shadow || self.scheduled_audit(nth);
+                let mut disagreed = false;
+                for (i, &k) in keys.iter().enumerate() {
+                    // Misses are always cross-checked; hits only on the
+                    // schedule — same policy as single-key `get`.
+                    if full_audit || res[i].is_none() {
+                        let truth = self.classical.get(k);
+                        if truth != res[i] {
+                            disagreed = true;
+                        }
+                        out.push(truth);
+                    } else {
+                        out.push(res[i]);
+                    }
+                }
+                if full_audit || res.iter().any(Option::is_none) {
+                    self.audits.fetch_add(1, Ordering::Relaxed);
+                    if disagreed {
+                        self.mismatches.fetch_add(1, Ordering::Relaxed);
+                        self.breaker.record_failure(TripReason::OutOfBand);
+                    } else {
+                        self.breaker.record_success();
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -275,6 +353,43 @@ mod tests {
         }
         fn size_bytes(&self) -> usize {
             0
+        }
+    }
+
+    #[test]
+    fn guarded_batch_matches_singles_and_stays_closed() {
+        let e = entries(4000);
+        let g = GuardedIndex::new(Rmi::build(e.clone(), 64), BPlusTree::bulk_load(&e));
+        let mut probes: Vec<u64> = e.iter().step_by(5).map(|x| x.0).collect();
+        probes.extend(e.iter().step_by(11).map(|x| x.0 + 1)); // absent
+        probes.sort_unstable();
+        let mut batch = Vec::new();
+        g.lookup_batch_sorted(&probes, &mut batch);
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], g.classical.get(k), "probe {k}");
+        }
+        g.lookup_batch(&probes, &mut batch);
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], g.classical.get(k), "probe {k}");
+        }
+        assert_eq!(g.breaker().state(), BreakerState::Closed);
+        assert_eq!(g.mismatches(), 0);
+    }
+
+    #[test]
+    fn guarded_batch_serves_classical_while_open() {
+        let e = entries(1000);
+        let g = GuardedIndex::new(Rmi::build(e.clone(), 32), BPlusTree::bulk_load(&e));
+        // Force the breaker open, then verify the batch path degrades to
+        // the classical baseline.
+        while g.breaker().state() != BreakerState::Open {
+            g.breaker().record_failure(TripReason::OutOfBand);
+        }
+        let probes: Vec<u64> = e.iter().step_by(3).map(|x| x.0).collect();
+        let mut batch = Vec::new();
+        g.lookup_batch_sorted(&probes, &mut batch);
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], g.classical.get(k));
         }
     }
 

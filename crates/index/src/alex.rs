@@ -43,6 +43,7 @@ impl GappedLeaf {
         let model = LinearModel {
             slope: pos_model.slope * scale,
             intercept: pos_model.intercept * scale,
+            key0: pos_model.key0,
         };
         let mut slots = vec![None; capacity];
         // Model-based placement preserving order: walk entries, placing each

@@ -53,8 +53,81 @@ pub trait MutableIndex: OrderedIndex {
     fn insert(&mut self, key: u64, value: u64);
 }
 
+/// The two-phase lookup fast path (jdb_pgm-style) over learned indexes.
+///
+/// Phase 1, [`predict_range`](TwoPhaseIndex::predict_range), runs only the
+/// model and returns a half-open window; phase 2 is a last-mile search over
+/// a **borrowed** entry slice — no per-probe allocation, and callers can
+/// fuse the search into their own scan loops. Batch entry points write into
+/// a caller-owned buffer so steady-state probing allocates nothing.
+pub trait TwoPhaseIndex: OrderedIndex {
+    /// Borrow the sorted entries the index was built over.
+    fn entries(&self) -> &[KeyValue];
+
+    /// Phase 1: a half-open window `[lo, hi)` with `hi <= len()` guaranteed
+    /// to contain `key`'s position when present, and its insertion point
+    /// otherwise. The insertion point may equal `hi` (in particular `hi ==
+    /// len()` for keys above every indexed key) — the window *brackets* it:
+    /// everything before `lo` is `< key`, everything at or past `hi` is
+    /// `> key`.
+    fn predict_range(&self, key: u64) -> (usize, usize);
+
+    /// Two-phase point lookup: predict, then last-mile search the window.
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        let (lo, hi) = self.predict_range(key);
+        let entries = self.entries();
+        search::last_mile_search(entries, key, lo, hi)
+            .ok()
+            .map(|i| entries[i].1)
+    }
+
+    /// Two-phase positional lookup: `Ok(position)` when present,
+    /// `Err(insertion_point)` otherwise (the `slice::binary_search`
+    /// contract).
+    #[inline]
+    fn lookup_pos(&self, key: u64) -> Result<usize, usize> {
+        let (lo, hi) = self.predict_range(key);
+        search::last_mile_search(self.entries(), key, lo, hi)
+    }
+
+    /// Batched point lookups into a caller-owned buffer (cleared first).
+    fn lookup_batch(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        out.clear();
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&k| self.lookup(k)));
+    }
+
+    /// Batched lookups for **ascending** probe keys: each window's lower
+    /// edge is floored at the previous probe's landing position (positions
+    /// are monotone in sorted probes), shrinking the last-mile work.
+    /// Implementations may additionally reuse model state across probes.
+    fn lookup_batch_sorted(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted probe batch");
+        out.clear();
+        out.reserve(keys.len());
+        let entries = self.entries();
+        let mut floor = 0usize;
+        for &key in keys {
+            let (lo, hi) = self.predict_range(key);
+            let lo = lo.max(floor);
+            let hi = hi.max(lo);
+            match search::last_mile_search(entries, key, lo, hi) {
+                Ok(i) => {
+                    out.push(Some(entries[i].1));
+                    floor = i;
+                }
+                Err(i) => {
+                    out.push(None);
+                    floor = i;
+                }
+            }
+        }
+    }
+}
+
 pub use alex::AlexIndex;
 pub use btree::BPlusTree;
-pub use pgm::{DynamicPgm, PgmIndex};
+pub use pgm::{DynamicPgm, FlatSegments, PgmCore, PgmIndex};
 pub use radix_spline::RadixSpline;
 pub use rmi::Rmi;

@@ -1,10 +1,17 @@
 //! The PGM-index (Ferragina & Vinciguerra \[8\]): a multi-level piecewise
 //! linear index with a provable per-level error bound ε, built in a single
 //! streaming pass, plus a dynamic LSM-style variant supporting inserts.
+//!
+//! The lookup path is split two-phase (jdb_pgm-style): [`PgmCore`] owns only
+//! the models and answers [`PgmCore::predict_range`] with a half-open window
+//! guaranteed to contain the key's position (or insertion point); the caller
+//! finishes with a last-mile search over its own borrowed slice. The data
+//! level is stored flattened (structure-of-arrays) so the per-probe walk
+//! touches dense `u64`/`f64` arrays instead of pointer-sized AoS records.
 
 use crate::model::LinearModel;
-use crate::search::{bounded_binary_search, exponential_search};
-use crate::{KeyValue, MutableIndex, OrderedIndex};
+use crate::search::last_mile_search;
+use crate::{KeyValue, MutableIndex, OrderedIndex, TwoPhaseIndex};
 
 /// One ε-bounded linear segment covering keys `>= first_key`.
 #[derive(Clone, Copy, Debug)]
@@ -23,12 +30,25 @@ pub struct Segment {
 /// using the shrinking-cone algorithm (single pass, O(n)): a new segment is
 /// opened whenever no line through the segment origin can keep every point
 /// within ±ε.
+///
+/// Models are anchored at the segment origin (`key0 = first_key`,
+/// `intercept = start`), matching the cone construction exactly and keeping
+/// full precision for large-magnitude keys. Slopes are never negative: keys
+/// and positions both ascend, and whenever the cone midpoint dips below
+/// zero the cone still contains zero (every upper constraint is positive),
+/// so clamping stays feasible — monotone models are what lets two-phase
+/// windows cover absent keys in segment gaps.
 pub fn build_segments(keys: &[u64], epsilon: usize) -> Vec<Segment> {
     let eps = epsilon as f64;
     let mut segments = Vec::new();
     if keys.is_empty() {
         return segments;
     }
+    let close = |start: usize, slope: f64| Segment {
+        first_key: keys[start],
+        model: LinearModel { slope, intercept: start as f64, key0: keys[start] },
+        start,
+    };
     let mut start = 0usize;
     let (mut slope_lo, mut slope_hi) = (f64::NEG_INFINITY, f64::INFINITY);
     for i in 1..keys.len() {
@@ -43,15 +63,7 @@ pub fn build_segments(keys: &[u64], epsilon: usize) -> Vec<Segment> {
         let new_hi = slope_hi.min(hi);
         if new_lo > new_hi {
             // Close the segment with a feasible slope.
-            let slope = feasible_slope(slope_lo, slope_hi);
-            segments.push(Segment {
-                first_key: keys[start],
-                model: LinearModel {
-                    slope,
-                    intercept: start as f64 - slope * keys[start] as f64,
-                },
-                start,
-            });
+            segments.push(close(start, feasible_slope(slope_lo, slope_hi)));
             start = i;
             slope_lo = f64::NEG_INFINITY;
             slope_hi = f64::INFINITY;
@@ -60,37 +72,248 @@ pub fn build_segments(keys: &[u64], epsilon: usize) -> Vec<Segment> {
             slope_hi = new_hi;
         }
     }
-    let slope = feasible_slope(slope_lo, slope_hi);
-    segments.push(Segment {
-        first_key: keys[start],
-        model: LinearModel { slope, intercept: start as f64 - slope * keys[start] as f64 },
-        start,
-    });
+    segments.push(close(start, feasible_slope(slope_lo, slope_hi)));
     segments
 }
 
 fn feasible_slope(lo: f64, hi: f64) -> f64 {
-    match (lo.is_finite(), hi.is_finite()) {
+    let mid = match (lo.is_finite(), hi.is_finite()) {
         (true, true) => 0.5 * (lo + hi),
         (true, false) => lo,
-        (false, true) => hi.max(0.0),
+        (false, true) => hi,
         (false, false) => 0.0, // single-point segment
+    };
+    // Every finite upper constraint (dy + ε)/dx is positive, so when the
+    // midpoint is negative the cone still contains 0.
+    mid.max(0.0)
+}
+
+/// Flattened structure-of-arrays layout of the data-level segments: four
+/// parallel dense arrays instead of a `Vec<Segment>`, so a probe's segment
+/// walk and model evaluation stream through contiguous same-typed memory.
+#[derive(Clone, Debug, Default)]
+pub struct FlatSegments {
+    first_keys: Vec<u64>,
+    slopes: Vec<f64>,
+    intercepts: Vec<f64>,
+    starts: Vec<u32>,
+}
+
+impl FlatSegments {
+    fn from_segments(segs: &[Segment]) -> Self {
+        Self {
+            first_keys: segs.iter().map(|s| s.first_key).collect(),
+            slopes: segs.iter().map(|s| s.model.slope).collect(),
+            intercepts: segs.iter().map(|s| s.model.intercept).collect(),
+            starts: segs.iter().map(|s| s.start as u32).collect(),
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.first_keys.len()
+    }
+
+    /// True when no segments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.first_keys.is_empty()
+    }
+
+    fn model(&self, i: usize) -> LinearModel {
+        LinearModel {
+            slope: self.slopes[i],
+            intercept: self.intercepts[i],
+            key0: self.first_keys[i],
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.len() * (8 + 8 + 8 + 4)
     }
 }
 
-/// A static PGM-index: recursive levels of ε-bounded segments over a sorted
-/// array. Every level guarantees its predictions are within ±ε of the true
-/// position, so each step of a lookup searches at most `2ε + 3` slots.
+/// The model half of a PGM-index: recursive ε-bounded segment levels over a
+/// sorted key array it does **not** own. Phase 1 of a lookup asks
+/// [`PgmCore::predict_range`] for a window; phase 2 is the caller's
+/// last-mile search over its own slice — no per-probe allocation, and the
+/// same core can serve any storage of the keys it was built from.
 #[derive(Clone, Debug)]
-pub struct PgmIndex {
-    entries: Vec<KeyValue>,
+pub struct PgmCore {
+    n: usize,
     epsilon: usize,
-    /// `levels\[0\]` indexes the data; `levels[k+1]` indexes the first keys of
-    /// `levels[k]`. The last level has at most `BASE_FANOUT` segments.
-    levels: Vec<Vec<Segment>>,
+    /// Data-level segments, flattened.
+    data: FlatSegments,
+    /// `upper[0]` indexes the data segments' first keys; `upper[k+1]`
+    /// indexes `upper[k]`. The last level has at most `BASE_FANOUT` entries.
+    upper: Vec<Vec<Segment>>,
 }
 
 const BASE_FANOUT: usize = 8;
+
+/// Rightmost index in `0..below_len` whose first key is `<= key` (0 when
+/// every first key is above `key`), found by walking outward from the
+/// model's clamped guess. The walk length is bounded by the model's actual
+/// misprediction (≤ ε + 2 by the cone bound and monotone slopes), and
+/// unlike a fixed ±ε window it is *always* correct, so window-containment
+/// guarantees never rest on the guess being good.
+fn refine_segment<F: Fn(usize) -> u64>(
+    first_key_at: F,
+    below_len: usize,
+    seg: &Segment,
+    key: u64,
+    range_end: usize,
+) -> usize {
+    let guess = seg
+        .model
+        .predict(key, below_len)
+        .clamp(seg.start, range_end.saturating_sub(1).max(seg.start));
+    let mut j = guess;
+    while j + 1 < below_len && first_key_at(j + 1) <= key {
+        j += 1;
+    }
+    while j > 0 && first_key_at(j) > key {
+        j -= 1;
+    }
+    j
+}
+
+impl PgmCore {
+    /// Builds the recursive segment hierarchy with error bound `epsilon`
+    /// over a strictly sorted key array.
+    pub fn build(keys: &[u64], epsilon: usize) -> Self {
+        let epsilon = epsilon.max(1);
+        if keys.is_empty() {
+            return Self { n: 0, epsilon, data: FlatSegments::default(), upper: Vec::new() };
+        }
+        assert!(keys.len() <= u32::MAX as usize, "PgmCore: > u32::MAX keys");
+        let mut segs = build_segments(keys, epsilon);
+        let data = FlatSegments::from_segments(&segs);
+        let mut upper = Vec::new();
+        while segs.len() > BASE_FANOUT {
+            let level_keys: Vec<u64> = segs.iter().map(|s| s.first_key).collect();
+            segs = build_segments(&level_keys, epsilon);
+            upper.push(segs.clone());
+        }
+        Self { n: keys.len(), epsilon, data, upper }
+    }
+
+    /// Number of keys the core was built over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when built over no keys.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The error bound ε.
+    pub fn epsilon(&self) -> usize {
+        self.epsilon
+    }
+
+    /// Number of levels (1 = segments directly over the data).
+    pub fn num_levels(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            1 + self.upper.len()
+        }
+    }
+
+    /// Total number of segments across levels.
+    pub fn num_segments(&self) -> usize {
+        self.data.len() + self.upper.iter().map(|l| l.len()).sum::<usize>()
+    }
+
+    /// Structural footprint in bytes (models only; the key array belongs to
+    /// the caller).
+    pub fn size_bytes(&self) -> usize {
+        self.data.size_bytes()
+            + self
+                .upper
+                .iter()
+                .map(|l| l.len() * std::mem::size_of::<Segment>())
+                .sum::<usize>()
+    }
+
+    /// Index of the data-level segment responsible for `key`: the rightmost
+    /// segment with `first_key <= key`, or 0 when `key` precedes them all.
+    pub fn locate_data_segment(&self, key: u64) -> usize {
+        debug_assert!(self.n > 0, "locate on empty core");
+        let mut idx = match self.upper.last() {
+            None => {
+                // Few data segments: find directly.
+                return self.data.first_keys.partition_point(|&k| k <= key).saturating_sub(1);
+            }
+            Some(top) => top.partition_point(|s| s.first_key <= key).saturating_sub(1),
+        };
+        // Descend: upper[d] predicts into upper[d-1], upper[0] into the
+        // flattened data level.
+        for d in (1..self.upper.len()).rev() {
+            let seg = &self.upper[d][idx];
+            let below = &self.upper[d - 1];
+            let range_end = self.upper[d].get(idx + 1).map_or(below.len(), |s| s.start);
+            idx = refine_segment(|j| below[j].first_key, below.len(), seg, key, range_end);
+        }
+        let seg = &self.upper[0][idx];
+        let range_end = self.upper[0].get(idx + 1).map_or(self.data.len(), |s| s.start);
+        refine_segment(|j| self.data.first_keys[j], self.data.len(), seg, key, range_end)
+    }
+
+    /// True when data segment `idx` is the one [`Self::locate_data_segment`]
+    /// would return for `key` — the cheap check that lets sorted batch
+    /// lookups reuse the previous probe's segment.
+    pub fn segment_covers(&self, idx: usize, key: u64) -> bool {
+        if idx >= self.data.len() {
+            return false;
+        }
+        (idx == 0 || self.data.first_keys[idx] <= key)
+            && (idx + 1 == self.data.len() || key < self.data.first_keys[idx + 1])
+    }
+
+    /// Phase-1 window for `key` given its covering data segment: a half-open
+    /// `[lo, hi)` with `hi <= len()` that contains `key`'s position when
+    /// present and its insertion point otherwise (`hi` itself may *be* the
+    /// insertion point for keys above every indexed key).
+    pub fn predict_range_in(&self, idx: usize, key: u64) -> (usize, usize) {
+        let s = self.data.starts[idx] as usize;
+        let e = if idx + 1 < self.data.len() {
+            self.data.starts[idx + 1] as usize
+        } else {
+            self.n
+        };
+        let pred = self
+            .data
+            .model(idx)
+            .predict(key, self.n)
+            .clamp(s, e.saturating_sub(1).max(s));
+        // ε from the cone, +1 for gap keys between members (monotone
+        // models), +1 for integer rounding in `predict`.
+        let w = self.epsilon + 2;
+        let lo = pred.saturating_sub(w);
+        let hi = (pred + w + 1).min(self.n);
+        (lo, hi.max(lo))
+    }
+
+    /// Phase-1 window for `key`: locate + [`Self::predict_range_in`].
+    pub fn predict_range(&self, key: u64) -> (usize, usize) {
+        if self.n == 0 {
+            return (0, 0);
+        }
+        let idx = self.locate_data_segment(key);
+        self.predict_range_in(idx, key)
+    }
+}
+
+/// A static PGM-index: a [`PgmCore`] plus ownership of the sorted entries it
+/// indexes. Every level guarantees its predictions are within ±ε of the
+/// true position, so each lookup searches an `O(ε)` window.
+#[derive(Clone, Debug)]
+pub struct PgmIndex {
+    entries: Vec<KeyValue>,
+    core: PgmCore,
+}
 
 impl PgmIndex {
     /// Builds a PGM-index with error bound `epsilon` over sorted entries.
@@ -102,92 +325,36 @@ impl PgmIndex {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "PgmIndex::build: unsorted input"
         );
-        let epsilon = epsilon.max(1);
-        let mut levels = Vec::new();
-        if !entries.is_empty() {
-            let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
-            let mut segs = build_segments(&keys, epsilon);
-            levels.push(segs.clone());
-            while segs.len() > BASE_FANOUT {
-                let level_keys: Vec<u64> = segs.iter().map(|s| s.first_key).collect();
-                segs = build_segments(&level_keys, epsilon);
-                levels.push(segs.clone());
-            }
-        }
-        Self { entries, epsilon, levels }
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        let core = PgmCore::build(&keys, epsilon);
+        Self { entries, core }
     }
 
     /// The error bound ε.
     pub fn epsilon(&self) -> usize {
-        self.epsilon
+        self.core.epsilon()
     }
 
     /// Number of levels (1 = segments directly over the data).
     pub fn num_levels(&self) -> usize {
-        self.levels.len()
+        self.core.num_levels()
     }
 
     /// Total number of segments across levels.
     pub fn num_segments(&self) -> usize {
-        self.levels.iter().map(|l| l.len()).sum()
+        self.core.num_segments()
     }
 
-    /// Index of the segment in `level` responsible for `key` (rightmost
-    /// segment with `first_key <= key`), found via the level above.
-    fn locate_segment(&self, key: u64) -> Option<(usize, &Segment)> {
-        let top = self.levels.last()?;
-        // Top level is small: scan it.
-        let mut idx = top.partition_point(|s| s.first_key <= key).saturating_sub(1);
-        // Walk down: each level's model predicts a position among the keys of
-        // the level below (which are that level's segment first-keys), and
-        // the prediction is clamped to the segment's covered range.
-        for depth in (0..self.levels.len() - 1).rev() {
-            let level = &self.levels[depth + 1];
-            let seg = &level[idx];
-            let below = &self.levels[depth];
-            let range_end =
-                level.get(idx + 1).map_or(below.len(), |next| next.start);
-            let pred = seg
-                .model
-                .predict(key, below.len())
-                .clamp(seg.start, range_end.saturating_sub(1).max(seg.start));
-            let lo = pred.saturating_sub(self.epsilon + 1).max(seg.start);
-            let hi = (pred + self.epsilon + 1).min(range_end.saturating_sub(1));
-            // Rightmost segment in [lo, hi] with first_key <= key.
-            let mut found = lo;
-            for (j, s) in below.iter().enumerate().take(hi + 1).skip(lo) {
-                if s.first_key <= key {
-                    found = j;
-                } else {
-                    break;
-                }
-            }
-            idx = found;
-        }
-        self.levels[0].get(idx).map(|s| (idx, s))
-    }
-
-    /// Clamped data-level position prediction for `key` given a located
-    /// segment index.
-    fn predict_data_pos(&self, idx: usize, seg: &Segment, key: u64) -> usize {
-        let range_end = self.levels[0]
-            .get(idx + 1)
-            .map_or(self.entries.len(), |next| next.start);
-        seg.model
-            .predict(key, self.entries.len())
-            .clamp(seg.start, range_end.saturating_sub(1).max(seg.start))
+    /// Borrow the model half (for callers doing phase 2 over their own copy
+    /// of the data).
+    pub fn core(&self) -> &PgmCore {
+        &self.core
     }
 
     /// First position whose key is `>= key`.
     pub fn lower_bound(&self, key: u64) -> usize {
-        if self.entries.is_empty() {
-            return 0;
-        }
-        let pred = match self.locate_segment(key) {
-            Some((idx, seg)) => self.predict_data_pos(idx, seg, key),
-            None => 0,
-        };
-        match exponential_search(&self.entries, key, pred).0 {
+        let (lo, hi) = self.core.predict_range(key);
+        match last_mile_search(&self.entries, key, lo, hi) {
             Ok(i) => i,
             Err(i) => i,
         }
@@ -205,13 +372,7 @@ impl OrderedIndex for PgmIndex {
     }
 
     fn get(&self, key: u64) -> Option<u64> {
-        let (idx, seg) = self.locate_segment(key)?;
-        let pred = self.predict_data_pos(idx, seg, key);
-        let lo = pred.saturating_sub(self.epsilon + 1);
-        let hi = pred + self.epsilon + 1;
-        bounded_binary_search(&self.entries, key, lo, hi)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.lookup(key)
     }
 
     fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
@@ -223,7 +384,55 @@ impl OrderedIndex for PgmIndex {
     }
 
     fn size_bytes(&self) -> usize {
-        self.num_segments() * std::mem::size_of::<Segment>()
+        self.core.size_bytes()
+    }
+}
+
+impl TwoPhaseIndex for PgmIndex {
+    fn entries(&self) -> &[KeyValue] {
+        &self.entries
+    }
+
+    fn predict_range(&self, key: u64) -> (usize, usize) {
+        self.core.predict_range(key)
+    }
+
+    /// Sorted probes reuse the previous probe's data segment (checked with
+    /// one key comparison, no re-descent) and floor-narrow each window to
+    /// the previous landing position.
+    fn lookup_batch_sorted(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted probe batch");
+        out.clear();
+        out.reserve(keys.len());
+        if self.entries.is_empty() {
+            out.extend(keys.iter().map(|_| None));
+            return;
+        }
+        let mut seg = 0usize;
+        let mut floor = 0usize;
+        for &key in keys {
+            if !self.core.segment_covers(seg, key) {
+                // Sorted probes usually step into the adjacent segment.
+                seg = if self.core.segment_covers(seg + 1, key) {
+                    seg + 1
+                } else {
+                    self.core.locate_data_segment(key)
+                };
+            }
+            let (lo, hi) = self.core.predict_range_in(seg, key);
+            let lo = lo.max(floor);
+            let hi = hi.max(lo);
+            match last_mile_search(&self.entries, key, lo, hi) {
+                Ok(i) => {
+                    out.push(Some(self.entries[i].1));
+                    floor = i;
+                }
+                Err(i) => {
+                    out.push(None);
+                    floor = i;
+                }
+            }
+        }
     }
 }
 
@@ -405,6 +614,19 @@ mod tests {
     }
 
     #[test]
+    fn segments_have_nonnegative_slopes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let entries =
+            generate_entries(KeyDistribution::LogNormal { sigma: 2.5 }, 20_000, &mut rng);
+        let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
+        for eps in [1usize, 4, 64] {
+            for s in build_segments(&keys, eps) {
+                assert!(s.model.slope >= 0.0, "eps={eps}: negative slope {}", s.model.slope);
+            }
+        }
+    }
+
+    #[test]
     fn smaller_epsilon_more_segments() {
         let mut rng = StdRng::seed_from_u64(2);
         let entries = generate_entries(KeyDistribution::LogNormal { sigma: 2.0 }, 10_000, &mut rng);
@@ -450,6 +672,50 @@ mod tests {
         let expected: Vec<KeyValue> =
             entries.iter().filter(|e| e.0 >= 500 && e.0 <= 1500).copied().collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn predict_range_contains_position_or_insertion_point() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let entries =
+            generate_entries(KeyDistribution::LogNormal { sigma: 2.0 }, 10_000, &mut rng);
+        let pgm = PgmIndex::build(entries.clone(), 8);
+        let probe = |k: u64| {
+            let (lo, hi) = pgm.core().predict_range(k);
+            let p = match entries.binary_search_by_key(&k, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            assert!(lo <= p && p <= hi, "key {k}: pos {p} outside [{lo}, {hi})");
+            assert!(hi <= entries.len());
+        };
+        for &(k, _) in entries.iter().step_by(13) {
+            probe(k);
+            probe(k.wrapping_add(1));
+            probe(k.saturating_sub(1));
+        }
+        probe(0);
+        probe(u64::MAX); // insertion point n must stay inside the window
+    }
+
+    #[test]
+    fn sorted_batch_matches_single_lookups() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let entries =
+            generate_entries(KeyDistribution::Uniform { max: 1 << 40 }, 20_000, &mut rng);
+        let pgm = PgmIndex::build(entries.clone(), 16);
+        // Present, absent, and out-of-domain probes, sorted.
+        let mut probes: Vec<u64> = entries.iter().step_by(3).map(|e| e.0).collect();
+        probes.extend(entries.iter().step_by(7).map(|e| e.0 ^ 1));
+        probes.push(0);
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        let mut batch = Vec::new();
+        pgm.lookup_batch_sorted(&probes, &mut batch);
+        assert_eq!(batch.len(), probes.len());
+        for (i, &k) in probes.iter().enumerate() {
+            assert_eq!(batch[i], pgm.get(k), "probe {k}");
+        }
     }
 
     #[test]

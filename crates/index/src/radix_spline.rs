@@ -2,8 +2,7 @@
 //! error-bounded greedy spline over the CDF plus a radix table over key
 //! prefixes that narrows the spline-segment search.
 
-use crate::search::bounded_binary_search;
-use crate::{KeyValue, OrderedIndex};
+use crate::{KeyValue, OrderedIndex, TwoPhaseIndex};
 
 /// A spline knot: a `(key, position)` point the spline interpolates.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -70,10 +69,15 @@ pub fn build_spline(keys: &[u64], epsilon: usize) -> Vec<Knot> {
 }
 
 /// A RadixSpline index over a static sorted array.
+///
+/// Knots are stored as two parallel arrays (keys, positions) so the radix
+/// narrowing and the knot binary search stream through dense `u64`s rather
+/// than 16-byte AoS records.
 #[derive(Clone, Debug)]
 pub struct RadixSpline {
     entries: Vec<KeyValue>,
-    knots: Vec<Knot>,
+    knot_keys: Vec<u64>,
+    knot_pos: Vec<u32>,
     epsilon: usize,
     /// Radix table: for prefix `p`, `radix[p]` is the index of the first
     /// knot whose shifted key is `>= p`.
@@ -92,6 +96,7 @@ impl RadixSpline {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "RadixSpline::build: unsorted input"
         );
+        assert!(entries.len() <= u32::MAX as usize, "RadixSpline: > u32::MAX entries");
         let epsilon = epsilon.max(1);
         let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
         let knots = build_spline(&keys, epsilon);
@@ -138,52 +143,51 @@ impl RadixSpline {
                 *slot = knot_idx as u32;
             }
         }
-        Self { entries, knots, epsilon, radix, shift, min_key }
+        let knot_keys = knots.iter().map(|k| k.key).collect();
+        let knot_pos = knots.iter().map(|k| k.pos as u32).collect();
+        Self { entries, knot_keys, knot_pos, epsilon, radix, shift, min_key }
     }
 
     /// Number of spline knots.
     pub fn num_knots(&self) -> usize {
-        self.knots.len()
+        self.knot_keys.len()
     }
 
     /// Predicts the position of `key` by spline interpolation.
     fn predict(&self, key: u64) -> usize {
-        if self.knots.is_empty() {
+        if self.knot_keys.is_empty() {
             return 0;
         }
-        let key_c = key.clamp(self.min_key, self.knots.last().expect("non-empty").key);
+        let nk = self.knot_keys.len();
+        let key_c = key.clamp(self.min_key, self.knot_keys[nk - 1]);
         let prefix = ((key_c - self.min_key) >> self.shift) as usize;
         // Knot range for this prefix: [radix[prefix], radix[prefix+1]].
         let lo = self.radix[prefix.min(self.radix.len() - 1)] as usize;
         let hi = self.radix[(prefix + 1).min(self.radix.len() - 1)] as usize;
         let lo = lo.saturating_sub(1);
-        let hi = hi.min(self.knots.len() - 1);
+        let hi = hi.min(nk - 1);
         // Binary search the knot bracket within [lo, hi].
-        let window = &self.knots[lo..=hi];
-        let i = match window.binary_search_by_key(&key_c, |k| k.key) {
+        let i = match self.knot_keys[lo..=hi].binary_search(&key_c) {
             Ok(i) => lo + i,
             Err(0) => lo,
             Err(i) => lo + i - 1,
         };
-        let a = self.knots[i.min(self.knots.len() - 1)];
-        if i + 1 >= self.knots.len() {
-            return a.pos;
+        let i = i.min(nk - 1);
+        let (ak, ap) = (self.knot_keys[i], self.knot_pos[i] as usize);
+        if i + 1 >= nk {
+            return ap;
         }
-        let b = self.knots[i + 1];
-        if b.key == a.key {
-            return a.pos;
+        let (bk, bp) = (self.knot_keys[i + 1], self.knot_pos[i + 1] as usize);
+        if bk == ak {
+            return ap;
         }
-        let t = (key_c.saturating_sub(a.key)) as f64 / (b.key - a.key) as f64;
-        (a.pos as f64 + t * (b.pos - a.pos) as f64).round() as usize
+        let t = (key_c.saturating_sub(ak)) as f64 / (bk - ak) as f64;
+        (ap as f64 + t * (bp - ap) as f64).round() as usize
     }
 
     /// First position whose key is `>= key`.
     pub fn lower_bound(&self, key: u64) -> usize {
-        if self.entries.is_empty() {
-            return 0;
-        }
-        let pred = self.predict(key);
-        match crate::search::exponential_search(&self.entries, key, pred).0 {
+        match self.lookup_pos(key) {
             Ok(i) => i,
             Err(i) => i,
         }
@@ -196,15 +200,7 @@ impl OrderedIndex for RadixSpline {
     }
 
     fn get(&self, key: u64) -> Option<u64> {
-        if self.entries.is_empty() {
-            return None;
-        }
-        let pred = self.predict(key);
-        let lo = pred.saturating_sub(self.epsilon + 1);
-        let hi = pred + self.epsilon + 1;
-        bounded_binary_search(&self.entries, key, lo, hi)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.lookup(key)
     }
 
     fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
@@ -216,7 +212,29 @@ impl OrderedIndex for RadixSpline {
     }
 
     fn size_bytes(&self) -> usize {
-        self.knots.len() * std::mem::size_of::<Knot>() + self.radix.len() * 4
+        self.knot_keys.len() * (8 + 4) + self.radix.len() * 4
+    }
+}
+
+impl TwoPhaseIndex for RadixSpline {
+    fn entries(&self) -> &[KeyValue] {
+        &self.entries
+    }
+
+    fn predict_range(&self, key: u64) -> (usize, usize) {
+        let n = self.entries.len();
+        if n == 0 {
+            return (0, 0);
+        }
+        let pred = self.predict(key);
+        // The measured ε bounds member-key error; +1 for absent keys between
+        // members (interpolation is monotone: knot positions ascend), +1 for
+        // the `.round()`. Keys outside the key domain clamp to the end
+        // knots, whose predictions are exact.
+        let w = self.epsilon + 2;
+        let lo = pred.saturating_sub(w);
+        let hi = (pred + w + 1).min(n);
+        (lo, hi.max(lo))
     }
 }
 
@@ -304,6 +322,30 @@ mod tests {
         let entries: Vec<KeyValue> = (0..50_000u64).map(|k| (k * 3, k)).collect();
         let rs = RadixSpline::build(entries, 32);
         assert!(rs.num_knots() < 100, "{} knots for a straight line", rs.num_knots());
+    }
+
+    #[test]
+    fn predict_range_contains_position_or_insertion_point() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let entries =
+            generate_entries(KeyDistribution::LogNormal { sigma: 2.0 }, 10_000, &mut rng);
+        let rs = RadixSpline::build(entries.clone(), 16);
+        let probe = |k: u64| {
+            let (lo, hi) = rs.predict_range(k);
+            let p = match entries.binary_search_by_key(&k, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            assert!(lo <= p && p <= hi, "key {k}: pos {p} outside [{lo}, {hi})");
+            assert!(hi <= entries.len());
+        };
+        for &(k, _) in entries.iter().step_by(13) {
+            probe(k);
+            probe(k.wrapping_add(1));
+            probe(k.saturating_sub(1));
+        }
+        probe(0);
+        probe(u64::MAX);
     }
 
     proptest! {

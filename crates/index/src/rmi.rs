@@ -4,27 +4,33 @@
 //! with per-leaf error bounds guaranteeing correct last-mile search.
 
 use crate::model::LinearModel;
-use crate::search::{bounded_binary_search, exponential_search};
-use crate::{KeyValue, OrderedIndex};
+use crate::{KeyValue, OrderedIndex, TwoPhaseIndex};
 
 /// A two-stage RMI over a static sorted array.
 ///
 /// Stage 1 is a single linear model routing keys to one of `fanout` stage-2
 /// models; each stage-2 model predicts the global position and stores its
-/// maximum training error, so lookups binary-search only
-/// `2 * err + 1` slots.
+/// maximum training error. Leaves are stored flattened (structure-of-arrays)
+/// with per-leaf entry offsets, so [`TwoPhaseIndex::predict_range`] windows
+/// can be clamped to the leaf's entry run — which is what makes them correct
+/// for *absent* keys too: the monotone root sends a key to leaf `b` only if
+/// every entry in earlier leaves is below it and every entry in later leaves
+/// above it, so the insertion point always lies within `[starts[b],
+/// starts[b+1]]`.
 #[derive(Clone, Debug)]
 pub struct Rmi {
     entries: Vec<KeyValue>,
     root: LinearModel,
     fanout: usize,
-    leaves: Vec<LeafModel>,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct LeafModel {
-    model: LinearModel,
-    err: usize,
+    /// SoA leaf models: slope/intercept/anchor per leaf.
+    slopes: Vec<f64>,
+    intercepts: Vec<f64>,
+    key0s: Vec<u64>,
+    /// Max training error per leaf.
+    errs: Vec<u32>,
+    /// `starts[b]..starts[b + 1]` is leaf `b`'s entry run (`fanout + 1`
+    /// entries, last is `n`).
+    starts: Vec<u32>,
 }
 
 impl Rmi {
@@ -39,68 +45,77 @@ impl Rmi {
         );
         let fanout = fanout.max(1);
         let n = entries.len();
+        assert!(n <= u32::MAX as usize, "Rmi: > u32::MAX entries");
         let keys: Vec<u64> = entries.iter().map(|e| e.0).collect();
         // Root model maps keys onto leaf ids: fit positions then rescale.
+        // Least squares over ascending positions never fits a negative
+        // slope, so leaf assignment is monotone in the key.
         let pos_model = LinearModel::fit_positions(&keys);
         let scale = fanout as f64 / n.max(1) as f64;
         let root = LinearModel {
             slope: pos_model.slope * scale,
             intercept: pos_model.intercept * scale,
+            key0: pos_model.key0,
         };
-        // Partition keys by root assignment (monotone in key).
-        let mut leaf_keys: Vec<Vec<(u64, usize)>> = vec![Vec::new(); fanout];
-        for (i, &k) in keys.iter().enumerate() {
-            let leaf = root.predict(k, fanout);
-            leaf_keys[leaf].push((k, i));
+        // Partition keys by root assignment (monotone in key), recording
+        // each leaf's entry run.
+        let mut starts = vec![0u32; fanout + 1];
+        {
+            let mut counts = vec![0u32; fanout];
+            for &k in &keys {
+                counts[root.predict(k, fanout)] += 1;
+            }
+            let mut acc = 0u32;
+            for (b, &c) in counts.iter().enumerate() {
+                starts[b] = acc;
+                acc += c;
+            }
+            starts[fanout] = acc;
         }
-        let leaves = leaf_keys
-            .iter()
-            .map(|bucket| {
-                if bucket.is_empty() {
-                    return LeafModel { model: LinearModel::flat(), err: 0 };
-                }
-                // Fit global positions against keys within the bucket.
-                let model = if bucket.len() == 1 {
-                    LinearModel { slope: 0.0, intercept: bucket[0].1 as f64 }
-                } else {
+        let mut slopes = Vec::with_capacity(fanout);
+        let mut intercepts = Vec::with_capacity(fanout);
+        let mut key0s = Vec::with_capacity(fanout);
+        let mut errs = Vec::with_capacity(fanout);
+        for b in 0..fanout {
+            let (s, e) = (starts[b] as usize, starts[b + 1] as usize);
+            let bucket = &entries[s..e];
+            let model = match bucket.len() {
+                0 => LinearModel::flat(),
+                1 => LinearModel { slope: 0.0, intercept: s as f64, key0: bucket[0].0 },
+                _ => {
                     let first = bucket[0];
                     let last = bucket[bucket.len() - 1];
-                    let anchor = LinearModel::through(
-                        (first.0, first.1 as f64),
-                        (last.0, last.1 as f64),
-                    );
-                    anchor
-                };
-                let err = bucket
-                    .iter()
-                    .map(|&(k, i)| model.predict(k, n).abs_diff(i))
-                    .max()
-                    .unwrap_or(0);
-                LeafModel { model, err }
-            })
-            .collect();
-        Self { entries, root, fanout, leaves }
+                    LinearModel::through(
+                        (first.0, s as f64),
+                        (last.0, (e - 1) as f64),
+                    )
+                }
+            };
+            let err = bucket
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, _))| model.predict(k, n).abs_diff(s + i))
+                .max()
+                .unwrap_or(0);
+            slopes.push(model.slope);
+            intercepts.push(model.intercept);
+            key0s.push(model.key0);
+            errs.push(err as u32);
+        }
+        Self { entries, root, fanout, slopes, intercepts, key0s, errs, starts }
     }
 
     /// Maximum stage-2 error bound over all leaves (the index's worst-case
     /// search window radius).
     pub fn max_error(&self) -> usize {
-        self.leaves.iter().map(|l| l.err).max().unwrap_or(0)
+        self.errs.iter().map(|&e| e as usize).max().unwrap_or(0)
     }
 
-    fn locate(&self, key: u64) -> (usize, usize) {
-        let leaf_id = self.root.predict(key, self.fanout);
-        let leaf = &self.leaves[leaf_id];
-        let pos = leaf.model.predict(key, self.entries.len());
-        (pos, leaf.err)
-    }
-
-    /// First position whose key is `>= key` (used by range scans). Always
-    /// correct even for keys outside any training bucket, because it falls
-    /// back to exponential search from the prediction.
+    /// First position whose key is `>= key` (used by range scans). Correct
+    /// even for keys outside any training bucket: the window is clamped to
+    /// the routed leaf's entry run, which brackets every such key.
     pub fn lower_bound(&self, key: u64) -> usize {
-        let (pos, _) = self.locate(key);
-        match exponential_search(&self.entries, key, pos).0 {
+        match self.lookup_pos(key) {
             Ok(i) => i,
             Err(i) => i,
         }
@@ -118,15 +133,7 @@ impl OrderedIndex for Rmi {
     }
 
     fn get(&self, key: u64) -> Option<u64> {
-        if self.entries.is_empty() {
-            return None;
-        }
-        let (pos, err) = self.locate(key);
-        let lo = pos.saturating_sub(err);
-        let hi = pos + err;
-        bounded_binary_search(&self.entries, key, lo, hi)
-            .ok()
-            .map(|i| self.entries[i].1)
+        self.lookup(key)
     }
 
     fn range(&self, lo: u64, hi: u64) -> Vec<KeyValue> {
@@ -139,7 +146,39 @@ impl OrderedIndex for Rmi {
 
     fn size_bytes(&self) -> usize {
         // Models only; the sorted data array is the table itself.
-        std::mem::size_of::<LinearModel>() + self.leaves.len() * std::mem::size_of::<LeafModel>()
+        std::mem::size_of::<LinearModel>()
+            + self.fanout * (8 + 8 + 8 + 4)
+            + self.starts.len() * 4
+    }
+}
+
+impl TwoPhaseIndex for Rmi {
+    fn entries(&self) -> &[KeyValue] {
+        &self.entries
+    }
+
+    fn predict_range(&self, key: u64) -> (usize, usize) {
+        let n = self.entries.len();
+        if n == 0 {
+            return (0, 0);
+        }
+        let b = self.root.predict(key, self.fanout);
+        let (s, e) = (self.starts[b] as usize, self.starts[b + 1] as usize);
+        let err = self.errs[b] as usize;
+        let leaf = LinearModel {
+            slope: self.slopes[b],
+            intercept: self.intercepts[b],
+            key0: self.key0s[b],
+        };
+        let pred = leaf.predict(key, n).clamp(s, e.saturating_sub(1).max(s));
+        // err from training, +1 for absent keys between members (leaf
+        // models are monotone), +1 for integer rounding; the leaf-run clamp
+        // keeps windows exact at bucket edges (and exactly `[s, s]`-tight
+        // for empty buckets).
+        let w = err + 2;
+        let lo = pred.saturating_sub(w).max(s);
+        let hi = (pred + w + 1).min(e + 1).min(n);
+        (lo, hi.max(lo))
     }
 }
 
@@ -214,6 +253,30 @@ mod tests {
         assert_eq!(rmi.get(5), None);
         assert!(rmi.range(0, 100).is_empty());
         assert_eq!(rmi.len(), 0);
+    }
+
+    #[test]
+    fn predict_range_contains_position_or_insertion_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let entries =
+            generate_entries(KeyDistribution::Clustered { clusters: 16 }, 10_000, &mut rng);
+        let rmi = Rmi::build(entries.clone(), 64);
+        let probe = |k: u64| {
+            let (lo, hi) = rmi.predict_range(k);
+            let p = match entries.binary_search_by_key(&k, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => i,
+            };
+            assert!(lo <= p && p <= hi, "key {k}: pos {p} outside [{lo}, {hi})");
+            assert!(hi <= entries.len());
+        };
+        for &(k, _) in entries.iter().step_by(11) {
+            probe(k);
+            probe(k.wrapping_add(1));
+            probe(k.saturating_sub(1));
+        }
+        probe(0);
+        probe(u64::MAX);
     }
 
     proptest! {

@@ -1,0 +1,120 @@
+//! Property tests for the two-phase lookup contract across index types.
+//!
+//! Every [`TwoPhaseIndex`] promises that `predict_range(key)` returns a
+//! half-open window bracketing `key`'s position when present and its
+//! insertion point otherwise (which may equal `hi`, including `hi == len()`
+//! for keys above every indexed key). These properties pin that contract —
+//! and the equivalence of the single, batch, and sorted-batch entry points
+//! against `slice::binary_search` as the oracle — for PGM, RMI, and
+//! RadixSpline on arbitrary key sets with present *and* absent probes.
+
+use ml4db_index::{KeyValue, PgmIndex, RadixSpline, Rmi, TwoPhaseIndex};
+use proptest::prelude::*;
+
+fn entries_from(keys: &std::collections::BTreeSet<u64>) -> Vec<KeyValue> {
+    keys.iter().map(|&k| (k, k.wrapping_mul(31))).collect()
+}
+
+/// Probes worth checking for a key set: every present key, its neighbors
+/// (absent keys inside the range), and the extremes.
+fn probes(entries: &[KeyValue]) -> Vec<u64> {
+    let mut p: Vec<u64> = entries
+        .iter()
+        .flat_map(|&(k, _)| [k, k.wrapping_sub(1), k.wrapping_add(1)])
+        .collect();
+    p.extend([0, u64::MAX]);
+    p
+}
+
+/// The window contract: `lo <= at <= hi <= len`, where `at` is the
+/// binary-search position or insertion point, and both single-lookup entry
+/// points agree with binary search.
+fn assert_window(idx: &dyn TwoPhaseIndex, probe: u64) {
+    let entries = idx.entries();
+    let expected = entries.binary_search_by_key(&probe, |e| e.0);
+    let at = match expected {
+        Ok(i) | Err(i) => i,
+    };
+    let (lo, hi) = idx.predict_range(probe);
+    assert!(hi <= entries.len(), "hi {hi} > len {} for {probe}", entries.len());
+    assert!(lo <= at && at <= hi, "window [{lo}, {hi}) misses {at} for {probe}");
+    assert_eq!(idx.lookup_pos(probe), expected, "lookup_pos for {probe}");
+    let want = expected.ok().map(|i| entries[i].1);
+    assert_eq!(idx.lookup(probe), want, "lookup for {probe}");
+}
+
+/// Batch and sorted-batch entry points agree with single lookups.
+fn assert_batches(idx: &dyn TwoPhaseIndex, probes: &[u64]) {
+    let singles: Vec<Option<u64>> = probes.iter().map(|&k| idx.lookup(k)).collect();
+    let mut batch = Vec::new();
+    idx.lookup_batch(probes, &mut batch);
+    assert_eq!(batch, singles, "unsorted batch != singles");
+    let mut sorted = probes.to_vec();
+    sorted.sort_unstable();
+    let sorted_singles: Vec<Option<u64>> = sorted.iter().map(|&k| idx.lookup(k)).collect();
+    let mut sorted_batch = Vec::new();
+    idx.lookup_batch_sorted(&sorted, &mut sorted_batch);
+    assert_eq!(sorted_batch, sorted_singles, "sorted batch != singles");
+}
+
+fn check_all(idx: &dyn TwoPhaseIndex) {
+    let ps = probes(idx.entries());
+    for &p in &ps {
+        assert_window(idx, p);
+    }
+    assert_batches(idx, &ps);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PGM windows contain the answer for present and absent probes, and
+    /// all lookup entry points agree with binary search.
+    #[test]
+    fn pgm_two_phase_contract(
+        keys in proptest::collection::btree_set(0u64..1_000_000, 1..600),
+        epsilon in 1usize..64,
+    ) {
+        check_all(&PgmIndex::build(entries_from(&keys), epsilon));
+    }
+
+    /// Same contract for the RMI across fanouts (including fanouts larger
+    /// than the key count, which leaves empty leaves).
+    #[test]
+    fn rmi_two_phase_contract(
+        keys in proptest::collection::btree_set(0u64..1_000_000, 1..600),
+        fanout in 1usize..256,
+    ) {
+        check_all(&Rmi::build(entries_from(&keys), fanout));
+    }
+
+    /// Same contract for RadixSpline.
+    #[test]
+    fn radix_spline_two_phase_contract(
+        keys in proptest::collection::btree_set(0u64..1_000_000, 1..600),
+        epsilon in 1usize..64,
+    ) {
+        check_all(&RadixSpline::build(entries_from(&keys), epsilon));
+    }
+
+    /// Adversarial distribution: heavy clustering (dense runs separated by
+    /// huge gaps) plus keys near u64::MAX, the regime where model error and
+    /// saturating arithmetic interact.
+    #[test]
+    fn clustered_extreme_keys_stay_correct(
+        cluster_starts in proptest::collection::btree_set(0u64..=u64::MAX - 4096, 1..8),
+        run in 1u64..64,
+    ) {
+        let mut keys = std::collections::BTreeSet::new();
+        for &s in &cluster_starts {
+            for i in 0..run {
+                keys.insert(s + i * 7);
+            }
+        }
+        keys.insert(u64::MAX);
+        let entries = entries_from(&keys);
+        check_all(&PgmIndex::build(entries.clone(), 8));
+        check_all(&Rmi::build(entries.clone(), 64));
+        check_all(&RadixSpline::build(entries, 8));
+    }
+}

@@ -185,7 +185,12 @@ fn run_node(
                             residual.push(to_local(p)?);
                         }
                     }
-                    let (rows, stats) = exec::index_scan(t, icol, lo, hi, &residual);
+                    // Learned fast path when the index is materialized;
+                    // both produce identical rows and stats.
+                    let (rows, stats) = match db.secondary_index(&tref.table, icol_name) {
+                        Some(sidx) => exec::index_scan_learned(t, lo, hi, &residual, sidx),
+                        None => exec::index_scan(t, icol, lo, hi, &residual),
+                    };
                     (rows, stats, "index_scan")
                 }
             };

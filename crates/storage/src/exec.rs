@@ -250,6 +250,69 @@ pub fn index_scan(
     (out, stats)
 }
 
+/// Index scan served by a learned [`SecondaryIndex`](crate::lindex::SecondaryIndex)
+/// instead of the full-column sweep in [`index_scan`].
+///
+/// Produces byte-identical `(rows, stats)` to [`index_scan`] on the same
+/// inputs — the simulated cost model (descent pages, matching-tuple pages,
+/// residual comparisons) describes the *physical plan*, which is unchanged;
+/// only the in-process probe work differs. Rows come out in ascending
+/// row-id order, same as the sweep.
+///
+/// Equality probes (`lo == hi`) run allocation-free: the index returns a
+/// borrowed, already-ascending row-id run. Range probes copy the matching
+/// run once to restore row-id order (the postings are grouped by key).
+pub fn index_scan_learned(
+    table: &Table,
+    lo: f64,
+    hi: f64,
+    residual: &[Predicate],
+    sidx: &crate::lindex::SecondaryIndex,
+) -> (Vec<Row>, ExecStats) {
+    let n = table.num_rows();
+    let mut out = Vec::new();
+    let mut stats = ExecStats::default();
+    // Same simulated B+Tree descent as the sweep path.
+    stats.random_pages += index_descent_pages(n as u64);
+
+    let mut emit = |i: usize, stats: &mut ExecStats| {
+        stats.tuples += 1;
+        let row = table.row(i);
+        let mut keep = true;
+        for p in residual {
+            stats.comparisons += 1;
+            if !p.eval(&row) {
+                keep = false;
+                break;
+            }
+        }
+        if keep {
+            out.push(row);
+        }
+    };
+
+    if lo == hi {
+        // Equality fast path: borrowed ascending run, no allocation.
+        for &rid in sidx.probe_eq(lo) {
+            emit(rid as usize, &mut stats);
+        }
+    } else {
+        let matched = sidx.range_rows(lo, hi);
+        // The run is grouped by key; one copy + sort restores row-id order.
+        let mut rids: Vec<u32> = matched.to_vec();
+        rids.sort_unstable();
+        for &rid in &rids {
+            emit(rid as usize, &mut stats);
+        }
+    }
+
+    stats.random_pages += (stats.tuples).div_ceil(ROWS_PER_PAGE);
+    stats.rows_out = out.len() as u64;
+    ml4db_obs::counter_add("exec.index_scan.learned", 1);
+    observe_op("exec.index_scan.calls", stats.rows_out);
+    (out, stats)
+}
+
 /// Nested-loop equi-join: compares every pair.
 pub fn nested_loop_join(
     left: &[Row],
@@ -475,6 +538,44 @@ mod tests {
             idx_stats.latency_us(&TRUE_WEIGHTS),
             seq_stats.latency_us(&TRUE_WEIGHTS)
         );
+    }
+
+    #[test]
+    fn learned_index_scan_is_byte_identical_to_sweep() {
+        // Duplicated, non-monotone column so equality runs and residual
+        // short-circuits are exercised.
+        let t = Table::new(
+            "t",
+            Schema::new(&[("a", DataType::Int), ("b", DataType::Int)]),
+            vec![
+                ColumnData::Int((0..10_000).map(|i| (i * 37) % 997).collect()),
+                ColumnData::Int((0..10_000).map(|i| i % 10).collect()),
+            ],
+        );
+        let sidx = crate::lindex::SecondaryIndex::build(&t.columns[0]);
+        let residuals: [&[Predicate]; 2] = [
+            &[],
+            &[
+                Predicate { column: 1, op: CmpOp::Ge, value: 3.0 },
+                Predicate { column: 1, op: CmpOp::Lt, value: 7.0 },
+            ],
+        ];
+        let ranges = [
+            (100.0, 300.0), // range
+            (42.0, 42.0),   // equality (multi-row run)
+            (996.5, 996.5), // equality, absent key
+            (2000.0, 3000.0), // above all keys
+            (300.0, 100.0), // empty range
+        ];
+        for residual in residuals {
+            for (lo, hi) in ranges {
+                let (sweep_rows, sweep_stats) = index_scan(&t, 0, lo, hi, residual);
+                let (learn_rows, learn_stats) =
+                    index_scan_learned(&t, lo, hi, residual, &sidx);
+                assert_eq!(learn_rows, sweep_rows, "rows differ for [{lo}, {hi}]");
+                assert_eq!(learn_stats, sweep_stats, "stats differ for [{lo}, {hi}]");
+            }
+        }
     }
 
     #[test]

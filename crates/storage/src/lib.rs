@@ -16,6 +16,7 @@
 
 pub mod datasets;
 pub mod exec;
+pub mod lindex;
 pub mod stats;
 pub mod table;
 
@@ -37,6 +38,8 @@ pub struct Database {
     /// Columns with a secondary index, as `(table, column)` pairs. Index
     /// scans are only legal on these.
     pub indexes: Vec<(String, String)>,
+    /// Built learned secondary indexes, keyed by `(table, column)`.
+    secondary: BTreeMap<(String, String), lindex::SecondaryIndex>,
 }
 
 impl Database {
@@ -47,7 +50,7 @@ impl Database {
             .iter()
             .map(|t| (t.name.clone(), stats::TableStats::build(t, rng)))
             .collect();
-        Self { catalog, stats, indexes: Vec::new() }
+        Self { catalog, stats, indexes: Vec::new(), secondary: BTreeMap::new() }
     }
 
     /// Declares a secondary index on `table.column`.
@@ -56,19 +59,30 @@ impl Database {
     /// Panics if the table or column does not exist.
     pub fn add_index(&mut self, table: &str, column: &str) {
         let t = self.catalog.table(table).unwrap_or_else(|| panic!("no table {table}"));
-        assert!(
-            t.schema.column_index(column).is_some(),
-            "no column {column} on table {table}"
-        );
+        let ci = t
+            .schema
+            .column_index(column)
+            .unwrap_or_else(|| panic!("no column {column} on table {table}"));
         let key = (table.to_string(), column.to_string());
         if !self.indexes.contains(&key) {
-            self.indexes.push(key);
+            let built = lindex::SecondaryIndex::build(&t.columns[ci]);
+            self.indexes.push(key.clone());
+            self.secondary.insert(key, built);
         }
     }
 
     /// True if `table.column` has a secondary index.
     pub fn has_index(&self, table: &str, column: &str) -> bool {
         self.indexes.iter().any(|(t, c)| t == table && c == column)
+    }
+
+    /// The built learned secondary index on `table.column`, if declared.
+    pub fn secondary_index(&self, table: &str, column: &str) -> Option<&lindex::SecondaryIndex> {
+        // Keyed lookup without allocating: the map is small, scan it.
+        self.secondary
+            .iter()
+            .find(|((t, c), _)| t == table && c == column)
+            .map(|(_, idx)| idx)
     }
 
     /// Statistics for a table.
