@@ -60,6 +60,9 @@ pub enum TripReason {
     LatencyRegression,
     /// The learned component panicked (caught at the guard boundary).
     Panic,
+    /// A dependency ran out of a resource (disk space, I/O retries
+    /// exhausted) and the caller must stop issuing work to it.
+    ResourceExhausted,
 }
 
 impl TripReason {
@@ -71,6 +74,7 @@ impl TripReason {
             TripReason::Drift => "drift",
             TripReason::LatencyRegression => "latency_regression",
             TripReason::Panic => "panic",
+            TripReason::ResourceExhausted => "resource_exhausted",
         }
     }
 }

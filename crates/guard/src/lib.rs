@@ -31,6 +31,7 @@
 
 pub mod breaker;
 pub mod chaos;
+pub mod diskchaos;
 pub mod estimator;
 pub mod index_guard;
 pub mod lifecycle;
@@ -39,6 +40,7 @@ pub mod steering;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Decision, TripReason};
 pub use chaos::{run_all, run_scenario, Fault, ScenarioReport};
+pub use diskchaos::{DiskFault, DiskScenarioReport};
 pub use estimator::GuardedCardEstimator;
 pub use lifecycle::LifecycleLink;
 pub use index_guard::GuardedIndex;

@@ -185,6 +185,36 @@ pub enum Event {
         /// Queue occupancy observed at decision time.
         queue_depth: u32,
     },
+    /// A write-ahead-log fsync barrier completed (the durability
+    /// acknowledgement point — everything appended before it is
+    /// committed once this event fires).
+    WalFsync {
+        /// Active WAL segment id.
+        segment: u32,
+        /// Durable bytes in the segment after the barrier.
+        bytes: u64,
+    },
+    /// Recovery replayed the write-ahead log into a fresh memtable.
+    WalReplay {
+        /// WAL segments scanned.
+        segments: u32,
+        /// Whole records replayed (committed or buffered).
+        records: u64,
+        /// Whether replay stopped at a torn or corrupt tail.
+        torn_tail: bool,
+        /// Records dropped because their commit frame never made it.
+        uncommitted_dropped: u64,
+    },
+    /// A memtable flushed into an immutable sorted run.
+    RunFlush {
+        /// Run id (dense from 0).
+        run_id: u32,
+        /// Entries (values + tombstones) written.
+        entries: u64,
+        /// Whether the per-run learned index cleared the lifecycle gate
+        /// (false = binary-search fallback serves the run).
+        index_promoted: bool,
+    },
     /// A logical span opened.
     SpanStart {
         /// Span name.
@@ -217,6 +247,9 @@ impl Event {
             Event::Promotion { .. } => "promotion",
             Event::Rollback { .. } => "rollback",
             Event::ServeVerdict { .. } => "serve_verdict",
+            Event::WalFsync { .. } => "wal_fsync",
+            Event::WalReplay { .. } => "wal_replay",
+            Event::RunFlush { .. } => "run_flush",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
         }
@@ -318,6 +351,24 @@ impl Event {
                 o.insert("verdict".into(), Value::String(verdict.into()));
                 o.insert("queue_depth".into(), Value::Number(f64::from(queue_depth)));
             }
+            Event::WalFsync { segment, bytes } => {
+                o.insert("segment".into(), Value::Number(f64::from(segment)));
+                o.insert("bytes".into(), Value::Number(bytes as f64));
+            }
+            Event::WalReplay { segments, records, torn_tail, uncommitted_dropped } => {
+                o.insert("segments".into(), Value::Number(f64::from(segments)));
+                o.insert("records".into(), Value::Number(records as f64));
+                o.insert("torn_tail".into(), Value::Bool(torn_tail));
+                o.insert(
+                    "uncommitted_dropped".into(),
+                    Value::Number(uncommitted_dropped as f64),
+                );
+            }
+            Event::RunFlush { run_id, entries, index_promoted } => {
+                o.insert("run_id".into(), Value::Number(f64::from(run_id)));
+                o.insert("entries".into(), Value::Number(entries as f64));
+                o.insert("index_promoted".into(), Value::Bool(index_promoted));
+            }
             Event::SpanStart { name } | Event::SpanEnd { name } => {
                 o.insert("name".into(), Value::String(name.into()));
             }
@@ -383,6 +434,22 @@ impl Event {
             Event::ServeVerdict { tenant, class, verdict, queue_depth } => {
                 format!("serve[t{tenant}/c{class}] {verdict} depth={queue_depth}")
             }
+            Event::WalFsync { segment, bytes } => {
+                format!("wal fsync seg={segment} durable_bytes={bytes}")
+            }
+            Event::WalReplay { segments, records, torn_tail, uncommitted_dropped } => format!(
+                "wal replay segs={segments} records={records}{}{}",
+                if torn_tail { " TORN-TAIL" } else { "" },
+                if uncommitted_dropped > 0 {
+                    format!(" dropped_uncommitted={uncommitted_dropped}")
+                } else {
+                    String::new()
+                }
+            ),
+            Event::RunFlush { run_id, entries, index_promoted } => format!(
+                "run flush id={run_id} entries={entries} index={}",
+                if index_promoted { "learned" } else { "binary-search" }
+            ),
             Event::SpanStart { name } => format!("span {name} {{"),
             Event::SpanEnd { name } => format!("}} span {name}"),
         }

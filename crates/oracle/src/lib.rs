@@ -35,6 +35,7 @@
 pub mod cost_check;
 pub mod exhaustive;
 pub mod index_check;
+pub mod recovery_check;
 pub mod reference;
 pub mod workload;
 

@@ -1,0 +1,265 @@
+//! The recovery oracle: a trivially-correct reference model for the
+//! durable store's crash-consistency contract.
+//!
+//! The harness records every batch it sends to the store and which of
+//! them were **acknowledged** (the commit fsync returned). After a
+//! simulated crash and recovery, the recovered committed state must
+//! equal [`KvOracle::state_after`]`(k)` for exactly one batch-prefix
+//! length `k` in the window `[acked, attempted]`:
+//!
+//! - `k < acked` means an acknowledged commit was lost — the WAL's
+//!   fsync barrier lied;
+//! - no `k` at all means the state is corrupt or contains uncommitted
+//!   phantoms — a record surfaced that was never committed, or a value
+//!   changed in flight;
+//! - `k > acked` is *legal*: a batch whose commit frame reached the
+//!   disk durably but whose acknowledgement never made it back to the
+//!   caller may survive. That is the classic in-flight window every
+//!   real database exposes; prefix consistency, not atomic visibility,
+//!   is the contract there.
+//!
+//! [`check_run_indexes`] is the second invariant: every run's gated
+//! learned index must return row-identical results to plain binary
+//! search, for every stored key and a just-miss probe beside it.
+
+use std::collections::BTreeMap;
+
+use ml4db_storage::durable::{DurableStore, RunEntry, StorageMedium};
+
+/// One operation in a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// Upsert.
+    Put {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Delete.
+    Delete {
+        /// Key.
+        key: u64,
+    },
+}
+
+/// The reference model: the full history of batches sent to the store.
+#[derive(Clone, Debug, Default)]
+pub struct KvOracle {
+    batches: Vec<Vec<KvOp>>,
+}
+
+/// A violated recovery invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryViolation {
+    /// Recovered state equals a prefix *shorter* than the acknowledged
+    /// one: a committed, acknowledged batch was lost.
+    LostCommitted {
+        /// The prefix the state actually matches.
+        survived: usize,
+        /// Batches the store acknowledged before the crash.
+        acked: usize,
+    },
+    /// Recovered state matches no batch prefix at all: corrupt data or
+    /// an uncommitted write surfaced.
+    NoMatchingPrefix {
+        /// The legal window's low end.
+        acked: usize,
+        /// The legal window's high end.
+        attempted: usize,
+        /// Keys where the recovered state differs from
+        /// `state_after(acked)` (capped at 4 for the message).
+        diverging_keys: Vec<u64>,
+    },
+    /// A run's learned index disagreed with binary search.
+    IndexDivergence {
+        /// Run id.
+        run_id: u32,
+        /// Probe key that diverged.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for RecoveryViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryViolation::LostCommitted { survived, acked } => write!(
+                f,
+                "lost committed write: state matches prefix {survived} but {acked} \
+                 batches were acknowledged"
+            ),
+            RecoveryViolation::NoMatchingPrefix { acked, attempted, diverging_keys } => {
+                write!(
+                    f,
+                    "recovered state matches no prefix in [{acked}, {attempted}] \
+                     (diverges at keys {diverging_keys:?})"
+                )
+            }
+            RecoveryViolation::IndexDivergence { run_id, key } => write!(
+                f,
+                "run {run_id} learned index diverges from binary search at key {key}"
+            ),
+        }
+    }
+}
+
+impl KvOracle {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one batch, in send order.
+    pub fn push(&mut self, ops: Vec<KvOp>) {
+        self.batches.push(ops);
+    }
+
+    /// Batches recorded.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True when no batch was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// The committed state after the first `k` batches.
+    pub fn state_after(&self, k: usize) -> BTreeMap<u64, u64> {
+        let mut state = BTreeMap::new();
+        for ops in self.batches.iter().take(k) {
+            for op in ops {
+                match *op {
+                    KvOp::Put { key, value } => {
+                        state.insert(key, value);
+                    }
+                    KvOp::Delete { key } => {
+                        state.remove(&key);
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Verifies prefix consistency: `recovered` must equal
+    /// `state_after(k)` for some `k` in `[acked, attempted]`. Returns
+    /// the matching `k`.
+    pub fn check_prefix(
+        &self,
+        recovered: &BTreeMap<u64, u64>,
+        acked: usize,
+        attempted: usize,
+    ) -> Result<usize, RecoveryViolation> {
+        debug_assert!(acked <= attempted && attempted <= self.batches.len());
+        // Walk the window incrementally rather than rebuilding per k.
+        let mut state = self.state_after(acked);
+        for k in acked..=attempted {
+            if k > acked {
+                for op in &self.batches[k - 1] {
+                    match *op {
+                        KvOp::Put { key, value } => {
+                            state.insert(key, value);
+                        }
+                        KvOp::Delete { key } => {
+                            state.remove(&key);
+                        }
+                    }
+                }
+            }
+            if &state == recovered {
+                return Ok(k);
+            }
+        }
+        // Diagnose: does the state match some *earlier* prefix?
+        for k in (0..acked).rev() {
+            if &self.state_after(k) == recovered {
+                return Err(RecoveryViolation::LostCommitted { survived: k, acked });
+            }
+        }
+        let reference = self.state_after(acked);
+        let mut diverging: Vec<u64> = recovered
+            .iter()
+            .filter(|(k, v)| reference.get(k) != Some(v))
+            .map(|(&k, _)| k)
+            .chain(reference.keys().filter(|k| !recovered.contains_key(k)).copied())
+            .collect();
+        diverging.sort_unstable();
+        diverging.dedup();
+        diverging.truncate(4);
+        Err(RecoveryViolation::NoMatchingPrefix {
+            acked,
+            attempted,
+            diverging_keys: diverging,
+        })
+    }
+}
+
+/// Proves every run's gated learned index row-identical to binary
+/// search: probes every stored key and its successor (a guaranteed or
+/// near-guaranteed miss). Returns the number of probes.
+pub fn check_run_indexes<M: StorageMedium>(
+    store: &DurableStore<M>,
+) -> Result<u64, RecoveryViolation> {
+    let mut probes = 0u64;
+    for run in store.runs() {
+        for e in run.entries() {
+            for probe in [e.key(), e.key().wrapping_add(1)] {
+                probes += 1;
+                let learned: Option<RunEntry> = run.get(probe);
+                let reference = run.get_unindexed(probe);
+                if learned != reference {
+                    return Err(RecoveryViolation::IndexDivergence {
+                        run_id: run.id(),
+                        key: probe,
+                    });
+                }
+            }
+        }
+    }
+    Ok(probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle3() -> KvOracle {
+        let mut o = KvOracle::new();
+        o.push(vec![KvOp::Put { key: 1, value: 10 }]);
+        o.push(vec![KvOp::Put { key: 2, value: 20 }, KvOp::Delete { key: 1 }]);
+        o.push(vec![KvOp::Put { key: 1, value: 11 }]);
+        o
+    }
+
+    #[test]
+    fn prefix_states_fold_in_order() {
+        let o = oracle3();
+        assert!(o.state_after(0).is_empty());
+        assert_eq!(o.state_after(1), BTreeMap::from([(1, 10)]));
+        assert_eq!(o.state_after(2), BTreeMap::from([(2, 20)]));
+        assert_eq!(o.state_after(3), BTreeMap::from([(1, 11), (2, 20)]));
+    }
+
+    #[test]
+    fn window_accepts_every_legal_prefix_and_only_those() {
+        let o = oracle3();
+        // acked = 1, attempted = 3: prefixes 1, 2, 3 are legal.
+        for k in 1..=3usize {
+            assert_eq!(o.check_prefix(&o.state_after(k), 1, 3), Ok(k));
+        }
+        // The empty state (prefix 0) is a lost committed write.
+        assert_eq!(
+            o.check_prefix(&o.state_after(0), 1, 3),
+            Err(RecoveryViolation::LostCommitted { survived: 0, acked: 1 })
+        );
+        // A corrupt value matches nothing.
+        let corrupt = BTreeMap::from([(1, 999)]);
+        match o.check_prefix(&corrupt, 1, 3) {
+            Err(RecoveryViolation::NoMatchingPrefix { diverging_keys, .. }) => {
+                assert!(diverging_keys.contains(&1));
+            }
+            other => panic!("corrupt state accepted: {other:?}"),
+        }
+    }
+}

@@ -36,5 +36,5 @@ pub mod sim;
 
 pub use admission::{AdmissionConfig, AdmissionQueue, AdmissionVerdict, Ticket};
 pub use report::{ServeReport, TenantReport};
-pub use server::{Outcome, Request, Response, ServeConfig, Server};
+pub use server::{DurabilitySink, Outcome, Request, Response, ServeConfig, Server};
 pub use sim::{run_closed_loop, SimConfig};

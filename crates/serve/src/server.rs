@@ -29,6 +29,7 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use ml4db_obs::Histogram;
 use ml4db_optimizer::Env;
 use ml4db_plan::Query;
+use ml4db_storage::durable::{DurableStore, StorageMedium, WalError};
 
 use crate::admission::{AdmissionConfig, AdmissionQueue, AdmissionVerdict, Ticket};
 use crate::report::{ServeReport, TenantReport};
@@ -155,6 +156,29 @@ struct TenantCounters {
     failed: AtomicU64,
 }
 
+/// Where accepted requests are made durable. Implemented by
+/// [`DurableStore`] over any medium: `record` journals one accepted
+/// request (staged), `sync` drives the WAL's commit + fsync barrier.
+/// The graceful-shutdown contract is built on this: [`Server::shutdown`]
+/// drains the admission queue and then `sync`s, so an accepted request
+/// can never be lost by a clean exit.
+pub trait DurabilitySink: Send {
+    /// Journals one accepted request (`request_id → packed metadata`).
+    fn record(&mut self, request_id: u64, tenant: u32) -> Result<(), WalError>;
+    /// Commits and fsyncs everything recorded so far.
+    fn sync(&mut self) -> Result<(), WalError>;
+}
+
+impl<M: StorageMedium + Send> DurabilitySink for DurableStore<M> {
+    fn record(&mut self, request_id: u64, tenant: u32) -> Result<(), WalError> {
+        self.put(request_id, u64::from(tenant))
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.commit().map(|_| ())
+    }
+}
+
 /// The serving front end over an [`Env`] engine core. See the module
 /// docs for the threading model and the exactly-once contract.
 pub struct Server<'e, 'db> {
@@ -166,6 +190,8 @@ pub struct Server<'e, 'db> {
     responses: ResponseTable,
     counters: Vec<TenantCounters>,
     latency: Vec<Mutex<Histogram>>,
+    journal: Mutex<Option<Box<dyn DurabilitySink>>>,
+    journal_errors: AtomicU64,
 }
 
 impl<'e, 'db> Server<'e, 'db> {
@@ -181,7 +207,27 @@ impl<'e, 'db> Server<'e, 'db> {
             responses: ResponseTable::new(),
             counters: (0..cfg.tenants).map(|_| TenantCounters::default()).collect(),
             latency: (0..cfg.tenants).map(|_| Mutex::new(Histogram::latency_us())).collect(),
+            journal: Mutex::new(None),
+            journal_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a durability journal: every subsequently accepted
+    /// request is recorded in it, and [`Server::shutdown`] fsyncs it
+    /// after the queue drains.
+    pub fn set_journal(&self, sink: Box<dyn DurabilitySink>) {
+        *self.lock_journal() = Some(sink);
+    }
+
+    fn lock_journal(&self) -> MutexGuard<'_, Option<Box<dyn DurabilitySink>>> {
+        self.journal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Journal record/sync failures so far (the serving path degrades to
+    /// in-memory rather than refusing traffic; callers watching this
+    /// counter decide when to trip a breaker).
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
     }
 
     /// The engine this server fronts.
@@ -238,6 +284,12 @@ impl<'e, 'db> Server<'e, 'db> {
         match verdict {
             AdmissionVerdict::Admitted => {
                 counters.admitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = self.lock_journal().as_mut() {
+                    if sink.record(id, tenant).is_err() {
+                        self.journal_errors.fetch_add(1, Ordering::Relaxed);
+                        ml4db_obs::counter_add("serve.journal_errors", 1);
+                    }
+                }
                 self.qcv.notify_one();
             }
             AdmissionVerdict::Shed(reason) => {
@@ -346,6 +398,29 @@ impl<'e, 'db> Server<'e, 'db> {
     pub fn close(&self) {
         self.closed.store(true, Ordering::Release);
         self.qcv.notify_all();
+    }
+
+    /// Graceful shutdown: closes admission, waits for running workers
+    /// to drain the queue, then commits + fsyncs the attached journal
+    /// (if any) so every accepted request is durable before exit.
+    ///
+    /// Call while the worker threads are still running — they do the
+    /// draining; join them afterwards for full quiescence. Returns the
+    /// journal's sync result (`Ok` when no journal is attached).
+    pub fn shutdown(&self) -> Result<(), WalError> {
+        self.close();
+        while self.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        ml4db_obs::counter_add("serve.shutdowns", 1);
+        if let Some(sink) = self.lock_journal().as_mut() {
+            sink.sync().inspect_err(|_| {
+                self.journal_errors.fetch_add(1, Ordering::Relaxed);
+                ml4db_obs::counter_add("serve.journal_errors", 1);
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Current queue depth (racy snapshot; for monitoring and tests).

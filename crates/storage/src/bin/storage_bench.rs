@@ -1,0 +1,179 @@
+//! Durable-tier benchmark: WAL append throughput, recovery latency,
+//! run-index build time, and on-disk bytes per key, written to
+//! `BENCH_storage.json`.
+//!
+//! All figures are wall-clock on the running host — compare only within
+//! one run (the committed per-PR trajectory), never raw across machines.
+//! The workload itself is seeded and deterministic; only the timings
+//! vary.
+//!
+//! Knobs (all optional, all env vars):
+//!
+//! * `ML4DB_STORAGE_N`     — records appended/replayed (default 100 000)
+//! * `ML4DB_STORAGE_BATCH` — records per commit (default 64)
+//! * `ML4DB_STORAGE_SEED`  — RNG seed (default 42)
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ml4db_storage::durable::run::{Run, RunEntry, RunIndex};
+use ml4db_storage::durable::{
+    DurableStore, SimDisk, StoreConfig, Wal, WalConfig, WalRecord,
+};
+use serde_json::Value;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let n = env_u64("ML4DB_STORAGE_N", 100_000);
+    let batch = env_u64("ML4DB_STORAGE_BATCH", 64).max(1);
+    let seed = env_u64("ML4DB_STORAGE_SEED", 42);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- WAL append + commit throughput (SimDisk: measures the CPU
+    // cost of framing/CRC/bookkeeping, not host fsync latency) --------
+    let wal_cfg = WalConfig { segment_bytes: 1 << 20, ..WalConfig::default() };
+    let mut disk = SimDisk::new();
+    let mut wal = Wal::create(&mut disk, wal_cfg).expect("create");
+    let records: Vec<(u64, u64)> =
+        (0..n).map(|_| (rng.gen::<u64>(), rng.gen::<u64>())).collect();
+    let (_, t_append) = time(|| {
+        for chunk in records.chunks(batch as usize) {
+            for &(key, value) in chunk {
+                let seq = wal.alloc_seq();
+                wal.append(&mut disk, &WalRecord::Put { seq, key, value }).expect("append");
+            }
+            let seq = wal.alloc_seq();
+            wal.append(&mut disk, &WalRecord::Commit { seq }).expect("append");
+            wal.sync(&mut disk).expect("sync");
+        }
+    });
+    let wal_bytes = disk.durable_bytes();
+
+    // --- Recovery: replay the log just written --------------------------
+    let ((_, replay), t_recover) =
+        time(|| Wal::recover(&mut disk, wal_cfg).expect("recover"));
+    assert_eq!(replay.records.len() as u64, n + n.div_ceil(batch));
+    black_box(&replay);
+
+    // --- Full store recovery (runs + WAL + gated index rebuild) ---------
+    let store_cfg = StoreConfig {
+        wal: wal_cfg,
+        memtable_limit: (n as usize / 4).max(1024),
+    };
+    let mut store = DurableStore::create(SimDisk::new(), store_cfg).expect("create");
+    for chunk in records.chunks(batch as usize) {
+        for &(key, value) in chunk {
+            store.put(key, value).expect("put");
+        }
+        store.commit().expect("commit");
+    }
+    store.flush().expect("flush");
+    let run_bytes: u64 = store.runs().iter().map(Run::file_bytes).sum();
+    let run_entries: u64 = store.runs().iter().map(|r| r.len() as u64).sum();
+    let medium = store.into_medium();
+    let ((reopened, report), t_store_recover) =
+        time(|| DurableStore::open(medium, store_cfg).expect("open"));
+    assert_eq!(report.runs_rejected, 0);
+    assert!(reopened.runs().iter().all(|r| matches!(r.index(), RunIndex::Learned(_))));
+
+    // --- Run-index build (the lifecycle-gated PGM) ----------------------
+    let mut entries: Vec<RunEntry> = {
+        let mut keys: Vec<u64> = records.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.into_iter().map(|key| RunEntry::Put { key, value: key ^ 0xA5 }).collect()
+    };
+    entries.truncate(n as usize);
+    let keys_built = entries.len() as u64;
+    let (run, t_index_build) = time(|| Run::assemble(0, entries, 0));
+    assert!(matches!(run.index(), RunIndex::Learned(_)), "gate rejected a clean build");
+
+    // --- Probe throughput through the gated index -----------------------
+    let probes: Vec<u64> = (0..200_000u64).map(|_| rng.gen::<u64>()).collect();
+    let (sum_learned, t_probe) = time(|| {
+        let mut sum = 0u64;
+        for &k in &probes {
+            if let Some(RunEntry::Put { value, .. }) = black_box(run.get(black_box(k))) {
+                sum = sum.wrapping_add(value);
+            }
+        }
+        sum
+    });
+    let (sum_binary, t_probe_binary) = time(|| {
+        let mut sum = 0u64;
+        for &k in &probes {
+            if let Some(RunEntry::Put { value, .. }) = black_box(run.get_unindexed(black_box(k))) {
+                sum = sum.wrapping_add(value);
+            }
+        }
+        sum
+    });
+    assert_eq!(sum_learned, sum_binary, "gated index disagrees with binary search");
+
+    let per_1e5 = 100_000.0 / n as f64;
+    let mut o = BTreeMap::new();
+    o.insert("bench".into(), Value::String("storage_durable".into()));
+    o.insert("n_records".into(), Value::Number(n as f64));
+    o.insert("batch".into(), Value::Number(batch as f64));
+    o.insert("seed".into(), Value::Number(seed as f64));
+    o.insert(
+        "wal_append_records_per_sec".into(),
+        Value::Number((n as f64 / t_append).round()),
+    );
+    o.insert(
+        "wal_bytes_per_record".into(),
+        Value::Number((wal_bytes as f64 / n as f64 * 100.0).round() / 100.0),
+    );
+    o.insert(
+        "wal_recovery_ms_per_100k_records".into(),
+        Value::Number((t_recover * 1e3 * per_1e5 * 100.0).round() / 100.0),
+    );
+    o.insert(
+        "store_recovery_ms_per_100k_records".into(),
+        Value::Number((t_store_recover * 1e3 * per_1e5 * 100.0).round() / 100.0),
+    );
+    o.insert(
+        "run_index_build_ms".into(),
+        Value::Number((t_index_build * 1e3 * 100.0).round() / 100.0),
+    );
+    o.insert("run_index_keys".into(), Value::Number(keys_built as f64));
+    o.insert(
+        "run_index_bytes_per_key".into(),
+        Value::Number(
+            (run.index_bytes() as f64 / keys_built as f64 * 1e4).round() / 1e4,
+        ),
+    );
+    o.insert(
+        "run_file_bytes_per_entry".into(),
+        Value::Number((run_bytes as f64 / run_entries as f64 * 100.0).round() / 100.0),
+    );
+    o.insert(
+        "run_probe_learned_per_sec".into(),
+        Value::Number((probes.len() as f64 / t_probe).round()),
+    );
+    o.insert(
+        "run_probe_binary_search_per_sec".into(),
+        Value::Number((probes.len() as f64 / t_probe_binary).round()),
+    );
+    o.insert(
+        "probe_speedup_vs_binary".into(),
+        Value::Number((t_probe_binary / t_probe * 100.0).round() / 100.0),
+    );
+    let json = Value::Object(o).to_string();
+    std::fs::write("BENCH_storage.json", format!("{json}\n"))
+        .expect("write BENCH_storage.json");
+    eprintln!("storage_bench: {json}");
+}

@@ -1,0 +1,462 @@
+//! Immutable sorted runs and their per-run learned indexes.
+//!
+//! A run is one memtable flush frozen on disk: a header, the entries in
+//! key order (tombstones included), and a CRC32 footer over everything
+//! before it. Runs are never rewritten — the property that makes them
+//! the safe home for a learned index, because the keys a model was
+//! fitted on can never drift out from under it (the staleness collapse
+//! PR 5 measured on mutable indexes cannot happen here).
+//!
+//! Every run's index goes through the **lifecycle gate** exactly like
+//! any other learned component: a PGM model over the run's keys is
+//! registered as a candidate against a binary-search incumbent, shadow-
+//! probed on a deterministic key sample, and promoted only if its probe
+//! results agree with binary search on every sample (score = fraction
+//! of disagreements, gated at zero tolerance against an incumbent score
+//! of zero). A rejected model leaves the run on plain binary search —
+//! correct, just slower — and the `run_flush` trace event records which
+//! way the gate went.
+
+use ml4db_index::pgm::PgmCore;
+use ml4db_index::search::last_mile_search_keys;
+use ml4db_lifecycle::{GateConfig, ModelRegistry};
+
+use super::medium::{IoFault, StorageMedium};
+use super::wal::crc32;
+
+/// Magic prefix of every run file.
+pub const RUN_MAGIC: &[u8; 4] = b"RUN1";
+
+/// PGM epsilon for run indexes — same bracket width as the secondary
+/// index fast path so `predict_range` windows stay cache-friendly.
+pub const RUN_INDEX_EPSILON: usize = 16;
+
+/// One entry in a run: the latest committed fact about a key at flush
+/// time. Tombstones must be stored — a delete in a newer run shadows a
+/// put in an older one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunEntry {
+    /// Key present with this value.
+    Put {
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// Key deleted.
+    Tombstone {
+        /// Key.
+        key: u64,
+    },
+}
+
+impl RunEntry {
+    /// The entry's key.
+    pub fn key(&self) -> u64 {
+        match *self {
+            RunEntry::Put { key, .. } | RunEntry::Tombstone { key } => key,
+        }
+    }
+}
+
+/// Why a run file was rejected at load time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Footer CRC mismatch or truncated/garbled body — a torn flush.
+    Corrupt(&'static str),
+    /// The medium failed underneath the read.
+    Io(IoFault),
+}
+
+/// File name of run `id`.
+pub fn run_name(id: u32) -> String {
+    format!("run-{id:08}.dat")
+}
+
+/// Parses a run file name back to its id.
+pub fn parse_run_name(name: &str) -> Option<u32> {
+    name.strip_prefix("run-")?.strip_suffix(".dat")?.parse().ok()
+}
+
+/// Serializes `entries` (must already be key-sorted) into the run file
+/// format: `RUN1 | run_id u32 | count u64 | entries | crc32 u32`, each
+/// entry `key u64 | tag u8 | value u64` (tag 1 = put, 2 = tombstone,
+/// tombstone value = 0).
+pub fn encode_run(run_id: u32, entries: &[RunEntry]) -> Vec<u8> {
+    debug_assert!(entries.windows(2).all(|w| w[0].key() < w[1].key()));
+    let mut out = Vec::with_capacity(16 + entries.len() * 17 + 4);
+    out.extend_from_slice(RUN_MAGIC);
+    out.extend_from_slice(&run_id.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for e in entries {
+        match *e {
+            RunEntry::Put { key, value } => {
+                out.extend_from_slice(&key.to_le_bytes());
+                out.push(1);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            RunEntry::Tombstone { key } => {
+                out.extend_from_slice(&key.to_le_bytes());
+                out.push(2);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses and verifies a run file. With `checksums` off the footer CRC
+/// is not checked — the unsafe mode the chaos harness demonstrates.
+pub fn decode_run(buf: &[u8], checksums: bool) -> Result<(u32, Vec<RunEntry>), RunError> {
+    if buf.len() < 20 || &buf[0..4] != RUN_MAGIC {
+        return Err(RunError::Corrupt("missing header"));
+    }
+    if checksums {
+        let body = &buf[..buf.len() - 4];
+        let crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+        if crc32(body) != crc {
+            return Err(RunError::Corrupt("footer crc mismatch"));
+        }
+    }
+    let run_id = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let count = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+    let body = &buf[16..buf.len() - 4];
+    if body.len() != count * 17 {
+        return Err(RunError::Corrupt("entry count mismatch"));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(17) {
+        let key = u64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let value = u64::from_le_bytes(chunk[9..17].try_into().unwrap());
+        match chunk[8] {
+            1 => entries.push(RunEntry::Put { key, value }),
+            2 => entries.push(RunEntry::Tombstone { key }),
+            _ => return Err(RunError::Corrupt("bad entry tag")),
+        }
+    }
+    if !entries.windows(2).all(|w| w[0].key() < w[1].key()) {
+        return Err(RunError::Corrupt("keys out of order"));
+    }
+    Ok((run_id, entries))
+}
+
+/// The probe model serving a run: the gate's winner.
+#[derive(Clone, Debug)]
+pub enum RunIndex {
+    /// Gated PGM model: `predict_range` window + last-mile search.
+    Learned(PgmCore),
+    /// Fallback when the gate rejects the model (or the run is empty).
+    BinarySearch,
+}
+
+impl RunIndex {
+    /// Stable label for traces and benches.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RunIndex::Learned(_) => "learned",
+            RunIndex::BinarySearch => "binary_search",
+        }
+    }
+}
+
+/// A loaded, immutable run: sorted columns plus the gated probe model.
+#[derive(Clone, Debug)]
+pub struct Run {
+    id: u32,
+    /// Sorted keys (one per entry).
+    keys: Vec<u64>,
+    /// Parallel entries array.
+    entries: Vec<RunEntry>,
+    index: RunIndex,
+    /// Bytes of the on-disk encoding (for bench bytes/key).
+    file_bytes: u64,
+}
+
+impl Run {
+    /// Builds the run's probe structures from decoded entries, pushing
+    /// the PGM candidate through the lifecycle gate.
+    pub fn assemble(id: u32, entries: Vec<RunEntry>, file_bytes: u64) -> Self {
+        let keys: Vec<u64> = entries.iter().map(|e| e.key()).collect();
+        let index = gate_run_index(id, &keys);
+        ml4db_obs::counter_add("run.loads", 1);
+        Self { id, keys, entries, index, file_bytes }
+    }
+
+    /// Run id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the run holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorted entries, tombstones included.
+    pub fn entries(&self) -> &[RunEntry] {
+        &self.entries
+    }
+
+    /// The probe model the gate chose.
+    pub fn index(&self) -> &RunIndex {
+        &self.index
+    }
+
+    /// On-disk size of the run file.
+    pub fn file_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Index model size (0 for binary search).
+    pub fn index_bytes(&self) -> usize {
+        match &self.index {
+            RunIndex::Learned(core) => core.size_bytes(),
+            RunIndex::BinarySearch => 0,
+        }
+    }
+
+    /// Looks `key` up through the gated probe path.
+    pub fn get(&self, key: u64) -> Option<RunEntry> {
+        let at = match &self.index {
+            RunIndex::Learned(core) => {
+                let (lo, hi) = core.predict_range(key);
+                last_mile_search_keys(&self.keys, key, lo, hi).ok()?
+            }
+            RunIndex::BinarySearch => self.keys.binary_search(&key).ok()?,
+        };
+        Some(self.entries[at])
+    }
+
+    /// Looks `key` up by plain binary search, bypassing the learned
+    /// model — the reference the row-identity invariant compares
+    /// against.
+    pub fn get_unindexed(&self, key: u64) -> Option<RunEntry> {
+        self.keys.binary_search(&key).ok().map(|at| self.entries[at])
+    }
+
+    /// All entries with keys in `[lo, hi]`, located via the probe path.
+    pub fn range(&self, lo: u64, hi: u64) -> &[RunEntry] {
+        let start = match &self.index {
+            RunIndex::Learned(core) => {
+                let (plo, phi) = core.predict_range(lo);
+                match last_mile_search_keys(&self.keys, lo, plo, phi) {
+                    Ok(i) | Err(i) => i,
+                }
+            }
+            RunIndex::BinarySearch => self.keys.partition_point(|&k| k < lo),
+        };
+        let end = start + self.keys[start..].partition_point(|&k| k <= hi);
+        &self.entries[start..end]
+    }
+}
+
+/// Builds and gates a PGM model for one run's keys. Incumbent is binary
+/// search (score 0 — it is never wrong); the candidate's score is the
+/// fraction of deterministic sample probes whose result disagrees with
+/// binary search, so any disagreement fails the zero-tolerance gate.
+fn gate_run_index(run_id: u32, keys: &[u64]) -> RunIndex {
+    if keys.len() < 2 {
+        return RunIndex::BinarySearch;
+    }
+    let mut registry: ModelRegistry<Option<PgmCore>> =
+        ModelRegistry::new("run_index", GateConfig { tolerance: 0.0 }, None);
+    let core = PgmCore::build(keys, RUN_INDEX_EPSILON);
+    let id = registry.register_candidate(Some(core), "run_flush");
+    registry.begin_shadow(id);
+
+    // Deterministic shadow probe sample: every k-th key plus just-miss
+    // neighbours, capped so gating a huge run stays cheap.
+    let step = (keys.len() / 64).max(1);
+    let mut probes = 0u32;
+    let mut disagreements = 0u32;
+    let candidate = registry.version(id).and_then(|v| v.model.as_ref()).expect("registered");
+    for i in (0..keys.len()).step_by(step) {
+        for probe in [keys[i], keys[i].wrapping_add(1)] {
+            probes += 1;
+            let (lo, hi) = candidate.predict_range(probe);
+            let learned = last_mile_search_keys(keys, probe, lo, hi).ok();
+            let reference = keys.binary_search(&probe).ok();
+            if learned != reference {
+                disagreements += 1;
+            }
+        }
+    }
+    let score = f64::from(disagreements) / f64::from(probes.max(1));
+    let verdict = registry.try_promote(id, score, 0.0, 0.0);
+    if verdict.promoted {
+        match registry.active().clone() {
+            Some(core) => RunIndex::Learned(core),
+            None => RunIndex::BinarySearch,
+        }
+    } else {
+        ml4db_obs::counter_add("run.index_rejections", 1);
+        let _ = run_id;
+        RunIndex::BinarySearch
+    }
+}
+
+/// Writes a run durably: append the encoding, then an fsync barrier.
+/// Returns the assembled in-memory [`Run`].
+pub fn write_run<M: StorageMedium>(
+    medium: &mut M,
+    run_id: u32,
+    entries: Vec<RunEntry>,
+    fsync_barriers: bool,
+) -> Result<Run, IoFault> {
+    let buf = encode_run(run_id, &entries);
+    let name = run_name(run_id);
+    medium.create(&name)?;
+    medium.append(&name, &buf)?;
+    if fsync_barriers {
+        medium.sync(&name)?;
+    }
+    ml4db_obs::counter_add("run.flushes", 1);
+    let run = Run::assemble(run_id, entries, buf.len() as u64);
+    let (id, n, promoted) =
+        (run.id(), run.len() as u64, matches!(run.index(), RunIndex::Learned(_)));
+    ml4db_obs::emit_with(move || ml4db_obs::Event::RunFlush {
+        run_id: id,
+        entries: n,
+        index_promoted: promoted,
+    });
+    Ok(run)
+}
+
+/// Loads and verifies one run file; `Err(RunError::Corrupt)` marks a
+/// torn flush the caller must ignore (its data is still in the WAL).
+pub fn load_run<M: StorageMedium>(
+    medium: &mut M,
+    name: &str,
+    checksums: bool,
+) -> Result<Run, RunError> {
+    let buf = match medium.read(name) {
+        Ok(b) => b,
+        Err(e) => return Err(RunError::Io(e)),
+    };
+    // Cross-check against the medium's length: a silently short read
+    // must not masquerade as a torn flush.
+    if let Ok(expect) = medium.len(name) {
+        if buf.len() as u64 != expect {
+            return Err(RunError::Io(IoFault::ShortRead));
+        }
+    }
+    let file_bytes = buf.len() as u64;
+    let (run_id, entries) = decode_run(&buf, checksums)?;
+    Ok(Run::assemble(run_id, entries, file_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::medium::SimDisk;
+    use super::*;
+
+    fn sample_entries(n: u64) -> Vec<RunEntry> {
+        (0..n)
+            .map(|i| {
+                if i % 7 == 3 {
+                    RunEntry::Tombstone { key: i * 3 }
+                } else {
+                    RunEntry::Put { key: i * 3, value: i * 100 }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let entries = sample_entries(200);
+        let buf = encode_run(7, &entries);
+        let (id, got) = decode_run(&buf, true).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(got, entries);
+    }
+
+    #[test]
+    fn any_corrupt_byte_is_rejected() {
+        let buf = encode_run(1, &sample_entries(20));
+        for i in 0..buf.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = buf.clone();
+                bad[i] ^= bit;
+                assert!(
+                    decode_run(&bad, true).is_err(),
+                    "flip of byte {i} (bit {bit:#x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let buf = encode_run(1, &sample_entries(20));
+        for cut in 0..buf.len() {
+            assert!(decode_run(&buf[..cut], true).is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn gated_index_probes_match_binary_search_for_every_key() {
+        let entries = sample_entries(3000);
+        let run = Run::assemble(0, entries.clone(), 0);
+        assert!(
+            matches!(run.index(), RunIndex::Learned(_)),
+            "PGM on clean sorted keys should clear the gate"
+        );
+        for e in &entries {
+            assert_eq!(run.get(e.key()), Some(*e));
+            assert_eq!(run.get(e.key()), run.get_unindexed(e.key()));
+            assert_eq!(run.get(e.key().wrapping_add(1)), None);
+        }
+    }
+
+    #[test]
+    fn range_matches_filter_sweep() {
+        let entries = sample_entries(500);
+        let run = Run::assemble(0, entries.clone(), 0);
+        for (lo, hi) in [(0, 0), (3, 300), (299, 901), (0, u64::MAX), (1400, 1400)] {
+            let want: Vec<RunEntry> =
+                entries.iter().copied().filter(|e| (lo..=hi).contains(&e.key())).collect();
+            assert_eq!(run.range(lo, hi), &want[..], "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn write_then_load_round_trips_through_a_medium() {
+        let mut disk = SimDisk::new();
+        let entries = sample_entries(100);
+        let written = write_run(&mut disk, 4, entries.clone(), true).unwrap();
+        let loaded = load_run(&mut disk, &run_name(4), true).unwrap();
+        assert_eq!(loaded.id(), 4);
+        assert_eq!(loaded.entries(), written.entries());
+        assert_eq!(loaded.file_bytes(), written.file_bytes());
+    }
+
+    #[test]
+    fn torn_run_write_is_rejected_at_load() {
+        use super::super::medium::{FaultSpec, TailPolicy};
+        let mut disk = SimDisk::new();
+        // Crash on the fsync: create+append land volatile, a torn
+        // prefix survives reboot.
+        disk.arm(FaultSpec::CrashAt { op: disk.ops() + 2, tail: TailPolicy::Torn });
+        let err = write_run(&mut disk, 0, sample_entries(50), true);
+        assert!(err.is_err());
+        disk.reboot(0xBEEF);
+        match load_run(&mut disk, &run_name(0), true) {
+            Err(RunError::Corrupt(_)) => {}
+            Ok(run) => {
+                // A zero-length surviving prefix may drop the file
+                // entirely; anything loadable must be impossible.
+                panic!("torn run loaded with {} entries", run.len());
+            }
+            Err(RunError::Io(IoFault::NotFound)) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+}

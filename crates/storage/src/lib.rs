@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod durable;
 pub mod exec;
 pub mod lindex;
 pub mod stats;
