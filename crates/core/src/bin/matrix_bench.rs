@@ -1,0 +1,79 @@
+//! Standing evaluation matrix benchmark: every optimizer policy × every
+//! workload-zoo scenario, scored against per-cell regression budgets.
+//!
+//! Writes `BENCH_matrix.json` (canonical JSON — byte-identical across
+//! `ML4DB_THREADS`, so CI can diff artifacts from both threading modes)
+//! and prints the same document to stdout. Wall-clock drive rate goes to
+//! stderr only, keeping the artifact reproducible.
+//!
+//! Knobs (env): `ML4DB_MATRIX_ROWS`, `ML4DB_MATRIX_TRAIN`,
+//! `ML4DB_MATRIX_EVAL`, `ML4DB_MATRIX_REQUESTS`, `ML4DB_MATRIX_SEED`.
+
+use std::time::Instant;
+
+use ml4db_core::matrix::{run_matrix, MatrixConfig};
+use ml4db_obs as obs;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    obs::set_mode(obs::Mode::Noop);
+    let cfg = MatrixConfig {
+        base_rows: env_u64("ML4DB_MATRIX_ROWS", 200) as usize,
+        train_n: env_u64("ML4DB_MATRIX_TRAIN", 20) as usize,
+        eval_n: env_u64("ML4DB_MATRIX_EVAL", 14) as usize,
+        trap_keep: 8,
+        serve_requests: env_u64("ML4DB_MATRIX_REQUESTS", 192),
+        seed: env_u64("ML4DB_MATRIX_SEED", 42),
+    };
+
+    let start = Instant::now();
+    let report = run_matrix(&cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let json = report.to_canonical_json();
+    std::fs::write("BENCH_matrix.json", format!("{json}\n")).expect("write BENCH_matrix.json");
+    println!("{json}");
+
+    let enforced_over: Vec<String> = report
+        .cells
+        .iter()
+        .filter(|c| c.budget.enforced && !c.within_budget)
+        .map(|c| format!("{}/{}", c.scenario, c.policy))
+        .collect();
+    let canary_over = report
+        .cells
+        .iter()
+        .filter(|c| !c.budget.enforced && !c.within_budget)
+        .count();
+    eprintln!(
+        "matrix: {} scenarios x {} policies = {} cells in {elapsed:.1}s (bits {:016x})",
+        report.scenarios,
+        report.policies,
+        report.cells.len(),
+        report.bits()
+    );
+    for p in &report.probes {
+        eprintln!(
+            "  probe {} vs {}: unguarded {:.2} (>= {:.2}: {}), guarded {:.2} (<= {:.2}: {})",
+            p.scenario,
+            p.component,
+            p.unguarded_metric,
+            p.threshold,
+            if p.defeated { "defeated" } else { "SURVIVED" },
+            p.guarded_metric,
+            p.guarded_budget,
+            if p.guarded_ok { "ok" } else { "OVER" },
+        );
+    }
+    eprintln!(
+        "  enforced over budget: {:?}; adversarial canaries over: {canary_over}; pass={}",
+        enforced_over,
+        report.pass()
+    );
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

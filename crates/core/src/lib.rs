@@ -16,12 +16,15 @@
 //!   [`ml4db_lifecycle`]: versioned model registry with validation-gated
 //!   promotion and auto-rollback under workload shift).
 //!
-//! [`pipeline`] has one-call end-to-end flows; [`prelude`] re-exports the
-//! common surface. The survey artifacts (Figure 1, Table 1) live in
-//! [`ml4db_survey`].
+//! [`pipeline`] has one-call end-to-end flows; [`matrix`] is the standing
+//! evaluation matrix (every optimizer policy × every workload-zoo
+//! scenario, scored against per-cell regression budgets); [`prelude`]
+//! re-exports the common surface. The survey artifacts (Figure 1,
+//! Table 1) live in [`ml4db_survey`].
 
 #![warn(missing_docs)]
 
+pub mod matrix;
 pub mod paradigm;
 pub mod pipeline;
 
@@ -44,6 +47,7 @@ pub use ml4db_survey as survey;
 
 /// Curated re-exports for downstream users.
 pub mod prelude {
+    pub use crate::matrix::{run_matrix, MatrixConfig, MatrixReport, Policy};
     pub use crate::paradigm::{GuardedEstimator, ParadigmKind, RobustnessReport};
     pub use crate::pipeline::{demo_database, demo_workload, train_bao};
     pub use ml4db_card::{MscnEstimator, NngpEstimator};

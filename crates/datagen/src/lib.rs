@@ -17,7 +17,14 @@
 //! * [`shift`] — seeded workload-shift injection scenarios (bulk
 //!   insert/delete, correlation flips, template drift, selectivity
 //!   rotation) that the model-lifecycle harness replays to prove learned
-//!   components degrade, retrain, and recover.
+//!   components degrade, retrain, and recover, and
+//! * [`zoo`] — the workload zoo: diversity scenarios (OLTP/OLAP mix,
+//!   diurnal cycles, flash crowds, skew storms, many-tenant populations)
+//!   plus adversarial generators crafted to fool specific learned
+//!   components (distribution-edge predicates, correlation traps, PGM
+//!   segment bombs, plan-regression traps), with the five [`shift`]
+//!   scenarios folded in — the scenario axis of the standing evaluation
+//!   matrix (`ml4db_core::matrix`).
 
 #![warn(missing_docs)]
 
@@ -25,8 +32,10 @@ pub mod sam;
 pub mod serve_load;
 pub mod shift;
 pub mod workload;
+pub mod zoo;
 
 pub use sam::{observe_constraints, privatize_constraints, RangeConstraint, SamGenerator};
 pub use serve_load::{Arrival, GenRequest, LoadGen, LoadSpec, TemplateMix};
 pub use shift::{key_stream, ShiftKind, ShiftScenario};
 pub use workload::{DriftSchedule, SchemaGraph, WorkloadConfig, WorkloadGenerator};
+pub use zoo::{ScenarioKind, ScenarioSpec, BOMB_CLUSTER, BOMB_GAP};

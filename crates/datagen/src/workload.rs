@@ -62,7 +62,7 @@ impl SchemaGraph {
 }
 
 /// Columns eligible for predicates, per table (numeric non-key columns).
-fn predicate_columns(db: &Database, table: &str) -> Vec<String> {
+pub(crate) fn predicate_columns(db: &Database, table: &str) -> Vec<String> {
     db.catalog
         .table(table)
         .map(|t| {

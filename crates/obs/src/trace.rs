@@ -215,6 +215,25 @@ pub enum Event {
         /// (false = binary-search fallback serves the run).
         index_promoted: bool,
     },
+    /// One cell of the standing evaluation matrix was scored (an
+    /// optimizer policy run over a workload-zoo scenario, judged against
+    /// its regression budget — see `ml4db_core::matrix`).
+    MatrixCell {
+        /// Zoo scenario name ("skew_storm", "distribution_edge", ...).
+        scenario: &'static str,
+        /// Optimizer policy name ("classical", "bao", ...).
+        policy: &'static str,
+        /// Cell p99 latency over the classical cell's p99.
+        p99_ratio: f64,
+        /// Cell total latency over the classical cell's total.
+        total_ratio: f64,
+        /// Queries that regressed >2× past the expert plan.
+        regressions: u64,
+        /// Circuit-breaker trips charged to the cell (guarded policies).
+        guard_trips: u64,
+        /// Whether the cell stayed inside its regression budget.
+        within_budget: bool,
+    },
     /// A logical span opened.
     SpanStart {
         /// Span name.
@@ -250,6 +269,7 @@ impl Event {
             Event::WalFsync { .. } => "wal_fsync",
             Event::WalReplay { .. } => "wal_replay",
             Event::RunFlush { .. } => "run_flush",
+            Event::MatrixCell { .. } => "matrix_cell",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
         }
@@ -369,6 +389,23 @@ impl Event {
                 o.insert("entries".into(), Value::Number(entries as f64));
                 o.insert("index_promoted".into(), Value::Bool(index_promoted));
             }
+            Event::MatrixCell {
+                scenario,
+                policy,
+                p99_ratio,
+                total_ratio,
+                regressions,
+                guard_trips,
+                within_budget,
+            } => {
+                o.insert("scenario".into(), Value::String(scenario.into()));
+                o.insert("policy".into(), Value::String(policy.into()));
+                o.insert("p99_ratio".into(), Value::Number(p99_ratio));
+                o.insert("total_ratio".into(), Value::Number(total_ratio));
+                o.insert("regressions".into(), Value::Number(regressions as f64));
+                o.insert("guard_trips".into(), Value::Number(guard_trips as f64));
+                o.insert("within_budget".into(), Value::Bool(within_budget));
+            }
             Event::SpanStart { name } | Event::SpanEnd { name } => {
                 o.insert("name".into(), Value::String(name.into()));
             }
@@ -449,6 +486,18 @@ impl Event {
             Event::RunFlush { run_id, entries, index_promoted } => format!(
                 "run flush id={run_id} entries={entries} index={}",
                 if index_promoted { "learned" } else { "binary-search" }
+            ),
+            Event::MatrixCell {
+                scenario,
+                policy,
+                p99_ratio,
+                total_ratio,
+                regressions,
+                guard_trips,
+                within_budget,
+            } => format!(
+                "matrix[{scenario}/{policy}] p99x={p99_ratio:.2} totx={total_ratio:.2} regr={regressions} trips={guard_trips} {}",
+                if within_budget { "OK" } else { "OVER BUDGET" }
             ),
             Event::SpanStart { name } => format!("span {name} {{"),
             Event::SpanEnd { name } => format!("}} span {name}"),

@@ -55,12 +55,12 @@ impl Bao {
     /// `f64::total_cmp`, so ties and the fold order are deterministic —
     /// the winner cannot depend on which thread finished first.
     fn sweep_arms(
-        &self,
         env: &Env,
         query: &Query,
+        arms: &[HintSet],
         score: impl Fn(&PlanNode) -> f64 + Sync,
     ) -> BaoChoice {
-        let scored: Vec<Option<(f64, PlanNode)>> = ml4db_par::par_map(&self.arms, |&arm| {
+        let scored: Vec<Option<(f64, PlanNode)>> = ml4db_par::par_map(arms, |&arm| {
             env.plan_with_hint(query, arm).map(|plan| (score(&plan), plan))
         });
         let mut best: Option<(f64, usize, PlanNode)> = None;
@@ -83,15 +83,23 @@ impl Bao {
     /// randomness, so the RNG stream matches the serial formulation.
     pub fn choose<R: Rng + ?Sized>(&self, env: &Env, query: &Query, rng: &mut R) -> BaoChoice {
         let weights = self.model.sample_weights(rng);
-        self.sweep_arms(env, query, |plan| {
+        Self::sweep_arms(env, query, &self.arms, |plan| {
             BayesianLinearRegression::predict_with(&weights, &plan_features(plan))
         })
     }
 
     /// Greedy (posterior-mean) choice, for evaluation without exploration.
     pub fn choose_greedy(&self, env: &Env, query: &Query) -> BaoChoice {
+        self.choose_greedy_among(env, query, &self.arms)
+    }
+
+    /// Greedy (posterior-mean) choice over an *externally supplied* arm
+    /// collection — the AutoSteer evaluation path, where the candidate
+    /// hint sets are discovered per query rather than fixed up front. The
+    /// returned `arm` indexes into `arms`.
+    pub fn choose_greedy_among(&self, env: &Env, query: &Query, arms: &[HintSet]) -> BaoChoice {
         let mean = self.model.posterior_mean();
-        self.sweep_arms(env, query, |plan| {
+        Self::sweep_arms(env, query, arms, |plan| {
             BayesianLinearRegression::predict_with(&mean, &plan_features(plan))
         })
     }

@@ -141,6 +141,52 @@ fn recovery_reports_are_byte_identical_across_thread_counts() {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-seed robustness: the lifecycle legs must not be a one-seed accident
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lifecycle_legs_hold_across_seeds() {
+    let _s = serial();
+    let small = ShiftRecoveryConfig {
+        base_rows: 150,
+        eval_n: 12,
+        holdout_n: 8,
+        epochs: 20,
+        ..Default::default()
+    };
+    for seed in [5u64, 23] {
+        for scenario in ShiftScenario::all(seed) {
+            let r = run_shift_recovery(scenario, &small);
+            assert!(
+                r.shift_err > r.pre_err,
+                "seed {seed} {}: no measurable degradation (pre {} vs post {})",
+                r.scenario,
+                r.pre_err,
+                r.shift_err
+            );
+            assert!(r.drift_fired, "seed {seed} {}: drift detector stayed quiet", r.scenario);
+            assert!(
+                r.sabotage_rejected,
+                "seed {seed} {}: sabotaged candidate slipped through",
+                r.scenario
+            );
+            // The gate's promote/hold verdict legitimately varies with the
+            // seed; what must never vary is that a promotion, when granted,
+            // actually recovers q-error.
+            if r.promoted {
+                assert!(
+                    r.recovered_err < r.shift_err,
+                    "seed {seed} {}: promoted without recovering ({} vs {})",
+                    r.scenario,
+                    r.recovered_err,
+                    r.shift_err
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Plan-cache epoch: a promotion must invalidate every cached plan
 // ---------------------------------------------------------------------------
 
