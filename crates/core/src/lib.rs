@@ -29,6 +29,7 @@ pub mod paradigm;
 pub mod pipeline;
 
 pub use ml4db_card as card;
+pub use ml4db_ctl as ctl;
 pub use ml4db_datagen as datagen;
 pub use ml4db_guard as guard;
 pub use ml4db_index as index;

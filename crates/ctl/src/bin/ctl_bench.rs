@@ -1,0 +1,70 @@
+//! Standing controller benchmark: noop vs rule vs oracle across the
+//! workload zoo, with per-cell do-no-harm and shift gap-closure gates.
+//!
+//! Writes `BENCH_ctl.json` (canonical JSON — byte-identical across
+//! `ML4DB_THREADS`, so CI diffs artifacts from both threading modes;
+//! each cell embeds the rule controller's decision-log fingerprint) and
+//! prints the same document to stdout. Wall clock goes to stderr only.
+//!
+//! Knobs (env): `ML4DB_CTL_ROWS`, `ML4DB_CTL_TRAIN`, `ML4DB_CTL_EVAL`,
+//! `ML4DB_CTL_EPOCHS`, `ML4DB_CTL_SEED`.
+
+use std::time::Instant;
+
+use ml4db_ctl::{run_ctl_matrix, CtlWorldConfig};
+use ml4db_obs as obs;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    // The world manages collection itself (ModeGuard::collect per run);
+    // outside runs the collector idles in Noop like the other benches.
+    obs::set_mode(obs::Mode::Noop);
+    let cfg = CtlWorldConfig {
+        base_rows: env_u64("ML4DB_CTL_ROWS", 160) as usize,
+        train_n: env_u64("ML4DB_CTL_TRAIN", 14) as usize,
+        eval_n: env_u64("ML4DB_CTL_EVAL", 10) as usize,
+        epochs: env_u64("ML4DB_CTL_EPOCHS", 6),
+        ..Default::default()
+    };
+    let seed = env_u64("ML4DB_CTL_SEED", 42);
+
+    let start = Instant::now();
+    let report = run_ctl_matrix(seed, &cfg);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let json = report.to_canonical_json();
+    std::fs::write("BENCH_ctl.json", format!("{json}\n")).expect("write BENCH_ctl.json");
+    println!("{json}");
+
+    let (noop, ctl, oracle) = report.totals();
+    eprintln!(
+        "ctl: {} scenarios x 3 controllers in {elapsed:.1}s (bits {:016x})",
+        report.cells.len(),
+        report.bits()
+    );
+    eprintln!(
+        "  aggregate noop {noop:.0}us  ctl {ctl:.0}us  oracle {oracle:.0}us  \
+         (ctl recovers {:.0}% of the noop->oracle gap)",
+        if noop - oracle > 1e-6 { 100.0 * (noop - ctl) / (noop - oracle) } else { 100.0 }
+    );
+    for c in report.cells.iter().filter(|c| !c.no_harm) {
+        eprintln!("  HARMED: {} ctl {:.0}us > noop {:.0}us", c.scenario, c.ctl_us, c.noop_us);
+    }
+    for c in report.cells.iter().filter(|c| c.shift) {
+        eprintln!(
+            "  shift {}: noop {:.0}us ctl {:.0}us oracle {:.0}us closure {}",
+            c.scenario,
+            c.noop_us,
+            c.ctl_us,
+            c.oracle_us,
+            c.gap_closure.map_or("n/a".into(), |g| format!("{:.0}%", 100.0 * g)),
+        );
+    }
+    eprintln!("  pass={}", report.pass());
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}

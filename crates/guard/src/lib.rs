@@ -20,7 +20,10 @@
 //!   budget enforced by `Env::run_with_timeout`;
 //! * [`chaos`] — the deterministic fault-injection harness that proves
 //!   the above: nine failure modes, each run guarded and raw, with a
-//!   seeded byte-stable report.
+//!   seeded byte-stable report;
+//! * [`ctlchaos`] — fault families aimed at the autonomous controller
+//!   itself (lying sensors, actuator failures, trigger storms,
+//!   crash-mid-action), consumed by the `ml4db-ctl` chaos harness.
 //!
 //! The design invariant throughout: **a tripped guard costs nothing** —
 //! while Open, the guarded component behaves exactly like its classical
@@ -31,6 +34,7 @@
 
 pub mod breaker;
 pub mod chaos;
+pub mod ctlchaos;
 pub mod diskchaos;
 pub mod estimator;
 pub mod index_guard;
@@ -40,6 +44,7 @@ pub mod steering;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Decision, TripReason};
 pub use chaos::{run_all, run_scenario, Fault, ScenarioReport};
+pub use ctlchaos::{ActuatorClock, ActuatorTransient, CtlFault};
 pub use diskchaos::{DiskFault, DiskScenarioReport};
 pub use estimator::GuardedCardEstimator;
 pub use lifecycle::LifecycleLink;

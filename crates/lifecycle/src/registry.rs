@@ -106,6 +106,15 @@ impl<M> ModelRegistry<M> {
         &self.versions[self.active]
     }
 
+    /// The rollback target's id: the last version that served and passed
+    /// validation (or the seed incumbent). A controller checks this
+    /// against [`ModelRegistry::active_id`] to know whether a rollback
+    /// would actually change anything — the missing-rollback-target
+    /// actuator fault reduces to the two being equal.
+    pub fn last_good_id(&self) -> u32 {
+        self.versions[self.last_good].id
+    }
+
     /// Monotone counter bumped on every promotion and rollback — fold
     /// this into the plan-cache epoch so cached plans die with the model
     /// that produced them.

@@ -58,9 +58,11 @@
 
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod metrics;
 pub mod trace;
 
+pub use health::{HealthSnapshot, SealedSnapshot, TenantCounters};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use trace::{strip_nondeterministic, Event, Trace, WallStat, NONDETERMINISTIC_KEY};
 

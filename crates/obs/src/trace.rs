@@ -234,6 +234,25 @@ pub enum Event {
         /// Whether the cell stayed inside its regression budget.
         within_budget: bool,
     },
+    /// A learned-index probe was answered (hit) or fell through to the
+    /// classical path (miss) — the controller's index-staleness signal.
+    IndexProbe {
+        /// Index name ("run_pgm", "title_id_pgm", ...).
+        index: &'static str,
+        /// Whether the probe was answered by the learned index.
+        hit: bool,
+    },
+    /// The autonomous controller decided (or declined) one action — see
+    /// `ml4db-ctl`. Every decision also lands in the controller's own
+    /// canonical decision log; this event mirrors it into the trace.
+    CtlDecision {
+        /// Control tick (epoch index) the decision belongs to.
+        tick: u64,
+        /// Action name ("retrain", "promote", "rollback", ...).
+        action: &'static str,
+        /// Outcome label ("executed", "rejected_gate", "deferred", ...).
+        outcome: &'static str,
+    },
     /// A logical span opened.
     SpanStart {
         /// Span name.
@@ -270,6 +289,8 @@ impl Event {
             Event::WalReplay { .. } => "wal_replay",
             Event::RunFlush { .. } => "run_flush",
             Event::MatrixCell { .. } => "matrix_cell",
+            Event::IndexProbe { .. } => "index_probe",
+            Event::CtlDecision { .. } => "ctl_decision",
             Event::SpanStart { .. } => "span_start",
             Event::SpanEnd { .. } => "span_end",
         }
@@ -406,6 +427,15 @@ impl Event {
                 o.insert("guard_trips".into(), Value::Number(guard_trips as f64));
                 o.insert("within_budget".into(), Value::Bool(within_budget));
             }
+            Event::IndexProbe { index, hit } => {
+                o.insert("index".into(), Value::String(index.into()));
+                o.insert("hit".into(), Value::Bool(hit));
+            }
+            Event::CtlDecision { tick, action, outcome } => {
+                o.insert("tick".into(), Value::Number(tick as f64));
+                o.insert("action".into(), Value::String(action.into()));
+                o.insert("outcome".into(), Value::String(outcome.into()));
+            }
             Event::SpanStart { name } | Event::SpanEnd { name } => {
                 o.insert("name".into(), Value::String(name.into()));
             }
@@ -499,6 +529,12 @@ impl Event {
                 "matrix[{scenario}/{policy}] p99x={p99_ratio:.2} totx={total_ratio:.2} regr={regressions} trips={guard_trips} {}",
                 if within_budget { "OK" } else { "OVER BUDGET" }
             ),
+            Event::IndexProbe { index, hit } => {
+                format!("index[{index}] probe {}", if hit { "hit" } else { "miss" })
+            }
+            Event::CtlDecision { tick, action, outcome } => {
+                format!("ctl[t{tick}] {action} -> {outcome}")
+            }
             Event::SpanStart { name } => format!("span {name} {{"),
             Event::SpanEnd { name } => format!("}} span {name}"),
         }

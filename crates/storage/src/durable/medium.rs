@@ -215,6 +215,17 @@ pub enum FaultSpec {
         /// Reads that come up short before the path clears.
         times: u32,
     },
+    /// Read-side operations (`read`, `list`, `len`) fail with
+    /// [`IoFault::Transient`] — the EIO-on-read failure mode. Starting
+    /// at op `op`, the next `times` read-family calls error, then the
+    /// path clears. Recovery must ride this out with the same bounded
+    /// deterministic retry appends get, not treat it as fatal.
+    ReadTransientAt {
+        /// First failing read's call-count.
+        op: u64,
+        /// Consecutive read-family failures before the path clears.
+        times: u32,
+    },
 }
 
 #[derive(Clone, Debug, Default)]
@@ -238,6 +249,7 @@ pub struct SimDisk {
     ops: u64,
     crashed: bool,
     short_reads_left: u32,
+    read_transient_left: u32,
     fault_hits: u64,
 }
 
@@ -256,6 +268,7 @@ impl SimDisk {
             ops: 0,
             crashed: false,
             short_reads_left: 0,
+            read_transient_left: 0,
             fault_hits: 0,
         }
     }
@@ -265,7 +278,23 @@ impl SimDisk {
         if let FaultSpec::ShortReads { times } = fault {
             self.short_reads_left = times;
         }
+        if let FaultSpec::ReadTransientAt { times, .. } = fault {
+            self.read_transient_left = times;
+        }
         self.fault = Some(fault);
+    }
+
+    /// Fires the armed read-transient fault if `at` is inside its
+    /// window; counts down so exactly `times` read-family calls fail.
+    fn read_fault(&mut self, at: u64) -> Result<(), IoFault> {
+        if let Some(FaultSpec::ReadTransientAt { op, .. }) = self.fault {
+            if at >= op && self.read_transient_left > 0 {
+                self.read_transient_left -= 1;
+                self.fault_hits += 1;
+                return Err(IoFault::Transient);
+            }
+        }
+        Ok(())
     }
 
     /// I/O operations performed so far — the injection clock a crash
@@ -394,7 +423,8 @@ impl StorageMedium for SimDisk {
     }
 
     fn read(&mut self, name: &str) -> Result<Vec<u8>, IoFault> {
-        self.tick()?;
+        let at = self.tick()?;
+        self.read_fault(at)?;
         let f = self.files.get(name).ok_or(IoFault::NotFound)?;
         // Reads see durable + volatile (the page cache), like a real fs.
         let mut out = f.durable.clone();
@@ -414,12 +444,14 @@ impl StorageMedium for SimDisk {
     }
 
     fn list(&mut self) -> Result<Vec<String>, IoFault> {
-        self.tick()?;
+        let at = self.tick()?;
+        self.read_fault(at)?;
         Ok(self.files.keys().cloned().collect())
     }
 
     fn len(&mut self, name: &str) -> Result<u64, IoFault> {
-        self.tick()?;
+        let at = self.tick()?;
+        self.read_fault(at)?;
         let f = self.files.get(name).ok_or(IoFault::NotFound)?;
         Ok((f.durable.len() + f.volatile.len()) as u64)
     }
@@ -503,6 +535,35 @@ mod tests {
         assert_eq!(d.append("w", b"x"), Err(IoFault::NoSpace));
         assert_eq!(d.append("w", b"x"), Ok(()));
         assert_eq!(d.fault_hits(), 2);
+        assert_eq!(d.read("w").unwrap(), b"x");
+    }
+
+    #[test]
+    fn read_transients_fail_exactly_n_read_ops_then_clear() {
+        let mut d = SimDisk::new();
+        d.create("w").unwrap();
+        d.append("w", b"data").unwrap();
+        d.sync("w").unwrap();
+        d.arm(FaultSpec::ReadTransientAt { op: d.ops(), times: 3 });
+        assert_eq!(d.read("w"), Err(IoFault::Transient));
+        assert_eq!(d.list(), Err(IoFault::Transient));
+        assert_eq!(d.len("w"), Err(IoFault::Transient));
+        // Budget consumed: the path clears for every read-family op.
+        assert_eq!(d.read("w").unwrap(), b"data");
+        assert_eq!(d.list().unwrap(), vec!["w".to_string()]);
+        assert_eq!(d.len("w").unwrap(), 4);
+        // Writes were never in scope for the read fault.
+        assert_eq!(d.fault_hits(), 3);
+    }
+
+    #[test]
+    fn read_transients_do_not_fire_before_their_op() {
+        let mut d = SimDisk::new();
+        d.create("w").unwrap();
+        d.append("w", b"x").unwrap();
+        d.arm(FaultSpec::ReadTransientAt { op: d.ops() + 1, times: 1 });
+        assert_eq!(d.read("w").unwrap(), b"x"); // at == op-1: clean
+        assert_eq!(d.read("w"), Err(IoFault::Transient));
         assert_eq!(d.read("w").unwrap(), b"x");
     }
 

@@ -114,14 +114,14 @@ impl<M: StorageMedium> DurableStore<M> {
         let mut report = RecoveryReport::default();
 
         // Load every run file that verifies; torn flushes are ignored
-        // (their records are still in the WAL). A silent short read is
-        // retried — the medium clears transient read faults — unless
-        // read protection is off.
-        let names = match medium.list() {
-            Ok(n) => n,
-            Err(IoFault::Crashed) => return Err(WalError::MediumCrashed),
-            Err(_) => return Err(WalError::Transient { attempts: 1 }),
-        };
+        // (their records are still in the WAL). Transient read errors
+        // and silent short reads are retried under the WAL's bounded
+        // deterministic policy; if they persist past the retry budget
+        // they surface as a clean error rather than silently dropping
+        // the run — after a checkpoint GC'd the log, a dropped run is
+        // lost data, not a recoverable artifact.
+        let mut backoff = 0u64;
+        let names = Wal::retry_read_io(&cfg.wal, &mut backoff, &mut medium, |m| m.list())?;
         let mut runs: Vec<Run> = Vec::new();
         for name in names.iter().filter(|n| run::parse_run_name(n).is_some()) {
             let mut attempts = 0u32;
@@ -132,10 +132,16 @@ impl<M: StorageMedium> DurableStore<M> {
                         runs.push(r);
                         break;
                     }
-                    Err(RunError::Io(IoFault::ShortRead)) if cfg.wal.read_retry && attempts <= 3 => {
-                        continue;
-                    }
                     Err(RunError::Io(IoFault::Crashed)) => return Err(WalError::MediumCrashed),
+                    Err(RunError::Io(e @ (IoFault::ShortRead | IoFault::Transient)))
+                        if cfg.wal.read_retry || e == IoFault::Transient =>
+                    {
+                        ml4db_obs::counter_add("wal.read_errors", 1);
+                        if attempts > cfg.wal.retry_limit {
+                            return Err(WalError::Transient { attempts });
+                        }
+                        backoff += 1u64 << (attempts - 1).min(16);
+                    }
                     Err(_) => {
                         report.runs_rejected += 1;
                         break;
@@ -150,7 +156,8 @@ impl<M: StorageMedium> DurableStore<M> {
         // Replay the WAL, folding committed batches into the memtable
         // and honouring checkpoints (records at or below the flush
         // high-water mark are already in runs).
-        let (wal, replay) = Wal::recover(&mut medium, cfg.wal)?;
+        let (mut wal, replay) = Wal::recover(&mut medium, cfg.wal)?;
+        wal.absorb_backoff(backoff);
         report.wal_segments = replay.segments;
         report.wal_records = replay.records.len() as u64;
         report.torn_tail = replay.torn_tail;

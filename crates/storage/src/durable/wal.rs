@@ -401,6 +401,13 @@ impl Wal {
         self.backoff_ticks
     }
 
+    /// Folds externally accumulated retry waits (e.g. the store's
+    /// run-load retries during open) into this WAL's backoff clock, so
+    /// one counter audits the whole recovery path.
+    pub(crate) fn absorb_backoff(&mut self, ticks: u64) {
+        self.backoff_ticks += ticks;
+    }
+
     /// Appends that succeeded only after at least one retry.
     pub fn retried_appends(&self) -> u64 {
         self.retried_appends
@@ -531,13 +538,18 @@ impl Wal {
     }
 
     /// Reads one file with the short-read cross-check: the returned
-    /// buffer must match the medium's reported length, retrying a
-    /// bounded number of times. With `read_retry` off the first answer
-    /// is trusted — the unprotected mode the chaos harness breaks.
+    /// buffer must match the medium's reported length. Transient read
+    /// errors and detected short reads are retried under the same
+    /// bounded deterministic policy appends get (`retry_limit` retries
+    /// on the 1, 2, 4, … tick backoff clock), then surface as a clean
+    /// [`WalError::Transient`]. With `read_retry` off the length
+    /// cross-check is skipped and the first successful answer is
+    /// trusted — the unprotected mode the chaos harness breaks.
     fn read_checked<M: StorageMedium>(
         medium: &mut M,
         name: &str,
         cfg: &WalConfig,
+        backoff: &mut u64,
     ) -> Result<Vec<u8>, WalError> {
         let mut attempts = 0u32;
         loop {
@@ -547,9 +559,11 @@ impl Wal {
                 Err(IoFault::Crashed) => return Err(WalError::MediumCrashed),
                 Err(IoFault::NotFound) => return Err(WalError::Corrupt("segment vanished")),
                 Err(_) => {
-                    if attempts > 3 {
+                    ml4db_obs::counter_add("wal.read_errors", 1);
+                    if attempts > cfg.retry_limit {
                         return Err(WalError::Transient { attempts });
                     }
+                    *backoff += 1u64 << (attempts - 1).min(16);
                     continue;
                 }
             };
@@ -558,17 +572,42 @@ impl Wal {
             }
             match medium.len(name) {
                 Ok(expect) if buf.len() as u64 == expect => return Ok(buf),
-                Ok(_) => {
-                    ml4db_obs::counter_add("wal.short_reads", 1);
-                    if attempts > 3 {
-                        return Err(WalError::Transient { attempts });
-                    }
-                }
                 Err(IoFault::Crashed) => return Err(WalError::MediumCrashed),
-                Err(_) => {
-                    if attempts > 3 {
+                Ok(_) | Err(_) => {
+                    ml4db_obs::counter_add("wal.short_reads", 1);
+                    if attempts > cfg.retry_limit {
                         return Err(WalError::Transient { attempts });
                     }
+                    *backoff += 1u64 << (attempts - 1).min(16);
+                }
+            }
+        }
+    }
+
+    /// Runs one read-side I/O action under the append retry policy:
+    /// `retry_limit` retries of NoSpace/Transient faults on the
+    /// deterministic backoff clock, crash and not-found fatal. Shared
+    /// with `DurableStore::open`, whose recovery enumeration must ride
+    /// out the same transient reads replay does.
+    pub(crate) fn retry_read_io<M: StorageMedium, T>(
+        cfg: &WalConfig,
+        backoff: &mut u64,
+        medium: &mut M,
+        mut op: impl FnMut(&mut M) -> Result<T, IoFault>,
+    ) -> Result<T, WalError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match op(medium) {
+                Ok(v) => return Ok(v),
+                Err(IoFault::Crashed) => return Err(WalError::MediumCrashed),
+                Err(IoFault::NotFound) => return Err(WalError::Corrupt("segment vanished")),
+                Err(_) => {
+                    ml4db_obs::counter_add("wal.read_errors", 1);
+                    if attempts > cfg.retry_limit {
+                        return Err(WalError::Transient { attempts });
+                    }
+                    *backoff += 1u64 << (attempts - 1).min(16);
                 }
             }
         }
@@ -585,11 +624,8 @@ impl Wal {
         medium: &mut M,
         cfg: WalConfig,
     ) -> Result<(Self, Replay), WalError> {
-        let names = match medium.list() {
-            Ok(n) => n,
-            Err(IoFault::Crashed) => return Err(WalError::MediumCrashed),
-            Err(_) => return Err(WalError::Transient { attempts: 1 }),
-        };
+        let mut backoff = 0u64;
+        let names = Self::retry_read_io(&cfg, &mut backoff, medium, |m| m.list())?;
         let mut seg_ids: Vec<u32> = names.iter().filter_map(|n| parse_segment(n)).collect();
         seg_ids.sort_unstable();
         if seg_ids.is_empty() {
@@ -604,7 +640,7 @@ impl Wal {
         let mut corrupt_frames = 0u64;
         let mut active_bytes = 0u64;
         for (i, &id) in seg_ids.iter().enumerate() {
-            let buf = Self::read_checked(medium, &segment_name(id), &cfg)?;
+            let buf = Self::read_checked(medium, &segment_name(id), &cfg, &mut backoff)?;
             let (mut recs, stop) = decode_all(&buf, cfg.checksums);
             let last = i + 1 == seg_ids.len();
             match stop {
@@ -636,11 +672,11 @@ impl Wal {
                         }
                         at
                     };
-                    if medium.create(&segment_name(id)).is_err()
-                        || medium.append(&segment_name(id), &buf[..valid]).is_err()
-                    {
-                        return Err(WalError::Transient { attempts: 1 });
-                    }
+                    let name = segment_name(id);
+                    Self::retry_read_io(&cfg, &mut backoff, medium, |m| m.create(&name))?;
+                    Self::retry_read_io(&cfg, &mut backoff, medium, |m| {
+                        m.append(&name, &buf[..valid])
+                    })?;
                     active_bytes = valid as u64;
                 } else {
                     active_bytes = buf.len() as u64;
@@ -654,7 +690,9 @@ impl Wal {
             segments: seg_ids.clone(),
             active_bytes,
             next_seq,
-            backoff_ticks: 0,
+            // Carry recovery's retry waits so the schedule is auditable
+            // from the recovered handle, exactly like the append path.
+            backoff_ticks: backoff,
             retried_appends: 0,
         };
         Ok((

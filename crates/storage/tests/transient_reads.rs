@@ -1,0 +1,154 @@
+//! Regression suite for the transient-read recovery bug: `durable`
+//! recovery used to treat any `IoFault::Transient` surfaced by a
+//! `SimDisk` read as fatal (`Wal::recover`'s segment enumeration
+//! errored on the first failing `list`, and a transiently unreadable
+//! run file was silently *dropped* — lost data once a checkpoint had
+//! GC'd the log). WAL segment reads now get the same bounded
+//! deterministic retry/backoff appends get for ENOSPC.
+
+use ml4db_storage::durable::{
+    DurableStore, FaultSpec, SimDisk, StoreConfig, Wal, WalConfig, WalError, WalRecord,
+};
+
+fn populated_disk(n: u64) -> (SimDisk, Vec<WalRecord>) {
+    let mut disk = SimDisk::new();
+    let mut wal = Wal::create(&mut disk, WalConfig::default()).unwrap();
+    let mut written = Vec::new();
+    for i in 0..n {
+        let seq = wal.alloc_seq();
+        let rec = WalRecord::Put { seq, key: i, value: i * 3 };
+        wal.append(&mut disk, &rec).unwrap();
+        written.push(rec);
+    }
+    let seq = wal.alloc_seq();
+    written.push(WalRecord::Commit { seq });
+    wal.append(&mut disk, written.last().unwrap()).unwrap();
+    wal.sync(&mut disk).unwrap();
+    (disk, written)
+}
+
+#[test]
+fn recover_rides_out_transient_list_errors() {
+    let (mut disk, written) = populated_disk(8);
+    // The very first recovery op is the segment enumeration; fail it
+    // twice. Before the fix this was `WalError::Transient` immediately.
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops(), times: 2 });
+    let (wal, replay) = Wal::recover(&mut disk, WalConfig::default()).unwrap();
+    assert_eq!(replay.records, written);
+    assert!(!replay.torn_tail);
+    // Deterministic backoff schedule, same as appends: 1 then 2 ticks.
+    assert_eq!(wal.backoff_ticks(), 1 + 2);
+    assert_eq!(disk.fault_hits(), 2);
+}
+
+#[test]
+fn recover_rides_out_transient_segment_reads() {
+    let (mut disk, written) = populated_disk(8);
+    // Skip past the `list` op so the fault lands on the segment read
+    // itself (and, budget permitting, the length cross-check).
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops() + 1, times: 3 });
+    let (wal, replay) = Wal::recover(&mut disk, WalConfig::default()).unwrap();
+    assert_eq!(replay.records, written);
+    assert_eq!(disk.fault_hits(), 3);
+    assert_eq!(wal.backoff_ticks(), 1 + 2 + 4, "1,2,4 tick schedule");
+}
+
+#[test]
+fn recover_surfaces_clean_error_when_transients_never_clear() {
+    let (mut disk, _) = populated_disk(4);
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops(), times: 1000 });
+    let cfg = WalConfig { retry_limit: 3, ..WalConfig::default() };
+    match Wal::recover(&mut disk, cfg) {
+        // Bounded: 1 initial attempt + retry_limit retries, no panic,
+        // no spin.
+        Err(WalError::Transient { attempts }) => assert_eq!(attempts, cfg.retry_limit + 1),
+        other => panic!("expected bounded Transient error, got {other:?}"),
+    }
+}
+
+#[test]
+fn store_open_recovers_full_state_through_read_transients() {
+    // Build a store whose state lives in BOTH a flushed run and the
+    // WAL tail, flush (checkpoint GCs the old segments), then reopen
+    // under a burst of transient read errors. Before the fix: fatal on
+    // the list, or — worse — a dropped run and silent data loss.
+    let cfg = StoreConfig {
+        wal: WalConfig { segment_bytes: 256, ..WalConfig::default() },
+        memtable_limit: 10_000,
+    };
+    let mut store = DurableStore::create(SimDisk::new(), cfg).unwrap();
+    for i in 0..40u64 {
+        store.put(i, i + 100).unwrap();
+        store.commit().unwrap();
+    }
+    store.flush().unwrap();
+    // Post-flush tail: lives only in the WAL.
+    store.put(7, 777).unwrap();
+    store.commit().unwrap();
+    let model = store.committed_state();
+
+    let mut disk = store.into_medium();
+    // Each failing read-family call consumes one fault charge and each
+    // open-path call retries up to retry_limit (4) times, so a burst of
+    // 3 is always survivable no matter which call it lands on.
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops(), times: 3 });
+    let (reopened, report) = DurableStore::open(disk, cfg).unwrap();
+    assert_eq!(report.runs_loaded, 1, "the flushed run must not be dropped");
+    assert_eq!(report.runs_rejected, 0);
+    assert_eq!(reopened.committed_state(), model);
+    assert_eq!(reopened.get(7), Some(777));
+}
+
+#[test]
+fn store_open_fails_cleanly_rather_than_dropping_an_unreadable_run() {
+    // A run that stays unreadable past the retry budget is lost data
+    // (the checkpoint already GC'd its records out of the WAL): open
+    // must surface an error, never silently reject the run.
+    let cfg = StoreConfig { wal: WalConfig::default(), memtable_limit: 10_000 };
+    let mut store = DurableStore::create(SimDisk::new(), cfg).unwrap();
+    for i in 0..20u64 {
+        store.put(i, i).unwrap();
+        store.commit().unwrap();
+    }
+    store.flush().unwrap();
+    let mut disk = store.into_medium();
+    // One op past `list`: the fault lands on the run read, forever.
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops() + 1, times: u32::MAX });
+    match DurableStore::open(disk, cfg) {
+        Err(WalError::Transient { attempts }) => {
+            assert_eq!(attempts, cfg.wal.retry_limit + 1);
+        }
+        Ok((_, report)) => panic!(
+            "open must not succeed by dropping the run (rejected={})",
+            report.runs_rejected
+        ),
+        other => panic!("expected Transient, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_reads_leave_torn_tail_semantics_intact() {
+    // The retry path must not change what recovery concludes: a torn
+    // tail with transient reads layered on top replays exactly the
+    // records a clean recovery would.
+    let (mut disk, written) = populated_disk(6);
+    // Append an unsynced (volatile) record, crash, reboot: torn tail.
+    let mut wal = Wal::recover(&mut disk, WalConfig::default()).unwrap().0;
+    let seq = wal.alloc_seq();
+    wal.append(&mut disk, &WalRecord::Put { seq, key: 99, value: 99 }).unwrap();
+    disk.arm(FaultSpec::CrashAt {
+        op: disk.ops(),
+        tail: ml4db_storage::durable::TailPolicy::DropAll,
+    });
+    assert_eq!(wal.sync(&mut disk), Err(WalError::MediumCrashed));
+    disk.reboot(0);
+
+    let mut clean_disk = disk.clone();
+    let (_, clean) = Wal::recover(&mut clean_disk, WalConfig::default()).unwrap();
+
+    disk.arm(FaultSpec::ReadTransientAt { op: disk.ops(), times: 2 });
+    let (_, faulted) = Wal::recover(&mut disk, WalConfig::default()).unwrap();
+    assert_eq!(faulted.records, clean.records);
+    assert_eq!(faulted.records, written, "volatile tail dropped, durable prefix intact");
+    assert_eq!(faulted.torn_tail, clean.torn_tail);
+}

@@ -1,0 +1,66 @@
+//! Property tests for the closed-loop controller: the decision log is a
+//! pure function of the run inputs (byte-identical at any thread
+//! count), and the guarded controller never does worse than no-op on
+//! any cell it is pointed at.
+
+use ml4db_core::par;
+use ml4db_ctl::{run_world, CtlWorldConfig, NoopController, RuleController};
+use ml4db_datagen::ScenarioSpec;
+use ml4db_guard::ctlchaos::CtlFault;
+use proptest::prelude::*;
+
+fn quick() -> CtlWorldConfig {
+    CtlWorldConfig {
+        base_rows: 100,
+        train_n: 8,
+        eval_n: 6,
+        epochs: 4,
+        train_epochs: 15,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The decision log — and the whole world fingerprint — is
+    /// byte-identical between the serial pool and a parallel pool.
+    #[test]
+    fn decision_log_is_byte_identical_across_thread_counts(
+        scenario in 0usize..14,
+        seed_step in 0u64..6,
+    ) {
+        let spec = ScenarioSpec::zoo(seed_step * 7 + 1)[scenario];
+        let cfg = quick();
+        let prev = par::set_threads(1);
+        let serial = run_world(spec, &mut RuleController::new(), CtlFault::None, &cfg);
+        par::set_threads(6);
+        let parallel = run_world(spec, &mut RuleController::new(), CtlFault::None, &cfg);
+        par::set_threads(prev);
+        prop_assert_eq!(
+            serial.log.canonical_string(),
+            parallel.log.canonical_string()
+        );
+        prop_assert_eq!(serial.bits(), parallel.bits());
+    }
+
+    /// Do-no-harm as a property: on every non-adversarial cell the rule
+    /// controller's total serving score is at most the no-op's.
+    #[test]
+    fn rule_controller_never_harms_non_adversarial_cells(
+        scenario in 0usize..14,
+        seed_step in 0u64..6,
+    ) {
+        let spec = ScenarioSpec::zoo(seed_step * 7 + 1)[scenario];
+        if !spec.is_adversarial() {
+            let cfg = quick();
+            let noop = run_world(spec, &mut NoopController, CtlFault::None, &cfg);
+            let rule = run_world(spec, &mut RuleController::new(), CtlFault::None, &cfg);
+            prop_assert!(
+                rule.total_us <= noop.total_us + 1e-6,
+                "{} seed {}: rule {} > noop {}",
+                spec.name(), spec.seed, rule.total_us, noop.total_us
+            );
+        }
+    }
+}
